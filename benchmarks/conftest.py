@@ -1,0 +1,11 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark runs its experiment once (``pedantic`` with one round):
+the interesting output is the experiment report and its shape
+assertions, with wall-clock time recorded as a byproduct.
+"""
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, kwargs=kwargs, iterations=1, rounds=1)

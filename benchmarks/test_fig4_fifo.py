@@ -1,0 +1,27 @@
+"""Fig 4a: FIFO latency/throughput curves and saturations."""
+
+from conftest import run_once
+
+from repro.bench.fig4_fifo import run
+
+
+def parse_rate(cell: str) -> float:
+    return float(cell.replace(",", ""))
+
+
+def test_fig4a(benchmark):
+    report = run_once(benchmark, run, fast=True)
+    print()
+    print(report.render())
+    rows = report.row_map()
+    onhost = parse_rate(rows["On-Host"][2])
+    wave15 = parse_rate(rows["Wave-15"][2])
+    wave16 = parse_rate(rows["Wave-16"][2])
+    # Paper shape: Wave-15 slightly below On-Host (PCIe overhead),
+    # Wave-16 above it (freed agent core).
+    assert wave15 < onhost
+    assert wave16 > onhost
+    assert 0.90 < wave15 / onhost < 1.0      # paper: -1.1%
+    assert 1.0 < wave16 / onhost < 1.12      # paper: +4.6%
+    # Absolute zone: On-Host saturates in the 855k region.
+    assert 0.85 * 855_000 < onhost < 1.15 * 855_000

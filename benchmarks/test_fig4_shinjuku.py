@@ -1,0 +1,28 @@
+"""Fig 4b: Shinjuku on the dispersive mix."""
+
+from conftest import run_once
+
+from repro.bench.fig4_shinjuku import run
+
+
+def parse_rate(cell: str) -> float:
+    return float(cell.replace(",", ""))
+
+
+def test_fig4b(benchmark):
+    report = run_once(benchmark, run, fast=True)
+    print()
+    print(report.render())
+    rows = report.row_map()
+    onhost = parse_rate(rows["On-Host"][2])
+    wave15 = parse_rate(rows["Wave-15"][2])
+    wave16 = parse_rate(rows["Wave-16"][2])
+    # Preemptions actually happened (the point of the policy).
+    assert all(row[5] > 0 for row in report.rows)
+    # Paper shape: Wave-15 clearly below On-Host (-7.6%); Wave-16
+    # recovers to roughly On-Host (+1.9%).
+    assert wave15 < onhost
+    assert 0.88 < wave15 / onhost < 0.99
+    assert 0.95 < wave16 / onhost < 1.08
+    # The FIFO-vs-Shinjuku relationship: this mix saturates far lower.
+    assert onhost < 400_000

@@ -1,0 +1,25 @@
+"""Fig 5: VM turbo/tick experiment."""
+
+from conftest import run_once
+
+from repro.bench.fig5_vm import PAPER, run
+
+
+def parse_pct(cell: str) -> float:
+    return float(cell.rstrip("%"))
+
+
+def test_fig5(benchmark):
+    report = run_once(benchmark, run, fast=True)
+    print()
+    print(report.render())
+    rows = report.row_map()
+    for n, paper in PAPER.items():
+        measured = parse_pct(rows[n][3])
+        assert abs(measured - paper) < 1.2, \
+            f"{n} vCPUs: {measured:+.1f}% vs paper {paper:+.1f}%"
+    # Improvement decays as more cores wake (turbo budget shrinks).
+    improvements = [parse_pct(row[3]) for row in report.rows]
+    assert improvements == sorted(improvements, reverse=True)
+    # Wave always wins (ticks only ever cost).
+    assert min(improvements) > 0

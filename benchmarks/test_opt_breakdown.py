@@ -1,0 +1,27 @@
+"""Section 7.2.2: the cumulative optimization ladder."""
+
+from conftest import run_once
+
+from repro.bench.opt_breakdown import run
+
+
+def parse_rate(cell: str) -> float:
+    return float(cell.replace(",", ""))
+
+
+def test_opt_breakdown(benchmark):
+    report = run_once(benchmark, run, fast=True)
+    print()
+    print(report.render())
+    sats = [parse_rate(row[1]) for row in report.rows]
+    # Strictly monotone: every optimization level helps.
+    assert sats == sorted(sats)
+    assert len(sats) == 4
+    baseline, nic_wb, wc_wt, full = sats
+    # The agent-side WB fix is the dominant jump (paper +102%).
+    assert nic_wb / baseline > 1.8
+    # Prestage/prefetch contributes a further solid gain (paper +32%).
+    assert full / wc_wt > 1.10
+    # Endpoints in the paper's zone.
+    assert 0.5 * 258_000 < baseline < 1.6 * 258_000
+    assert 0.85 * 895_000 < full < 1.15 * 895_000

@@ -1,0 +1,23 @@
+"""Section 7.4.2: SOL's effect on RocksDB's footprint and latency."""
+
+from conftest import run_once
+
+from repro.bench.sol_footprint import run
+
+
+def test_sol_footprint(benchmark):
+    report = run_once(benchmark, run, fast=True)
+    print()
+    print(report.render())
+    rows = report.row_map()
+    reduction = float(rows["reduction"][1].rstrip("%"))
+    # Paper: 79% DRAM reduction after 3 epochs.
+    assert 65.0 < reduction < 88.0
+    # Traffic keeps hitting DRAM (the hot set stayed fast).
+    hit = float(rows["DRAM hit fraction"][1])
+    assert hit > 0.99
+    # GET latency barely affected: median ~12 us, p99 ~31 us.
+    p50 = float(rows["GET median (us)"][1])
+    p99 = float(rows["GET p99 (us)"][1])
+    assert 10.0 < p50 < 14.5
+    assert 24.0 < p99 < 38.0

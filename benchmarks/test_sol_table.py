@@ -1,0 +1,29 @@
+"""Section 7.4.2: SOL per-iteration duration table."""
+
+from conftest import run_once
+
+from repro.bench.sol_table import PAPER, run
+
+
+def parse_ms(cell: str) -> float:
+    return float(cell.replace(",", ""))
+
+
+def test_sol_table(benchmark):
+    report = run_once(benchmark, run, fast=True)
+    print()
+    print(report.render())
+    wave = [parse_ms(row[1]) for row in report.rows]
+    onhost = [parse_ms(row[3]) for row in report.rows]
+    # Durations decrease with cores but sublinearly (serial portions).
+    assert wave == sorted(wave, reverse=True)
+    assert onhost == sorted(onhost, reverse=True)
+    cores = [row[0] for row in report.rows]
+    speedup = wave[0] / wave[-1]
+    assert speedup < cores[-1] / cores[0]  # far from linear
+    # Wave is slower than on-host at every core count (weaker ARM),
+    # with a ratio in the paper's zone (1.18-1.63).
+    for w, h, n in zip(wave, onhost, cores):
+        assert w > h, f"{n} cores"
+        paper_ratio = PAPER[n][0] / PAPER[n][1]
+        assert abs((w / h) - paper_ratio) / paper_ratio < 0.45, n

@@ -1,0 +1,16 @@
+"""Table 2: hardware microbenchmarks."""
+
+from conftest import run_once
+
+from repro.bench.table2_hw import PAPER, run
+
+
+def test_table2(benchmark):
+    report = run_once(benchmark, run, fast=True)
+    print()
+    print(report.render())
+    rows = report.row_map()
+    for name, paper in PAPER.items():
+        measured = rows[name][2]
+        assert measured == round(paper, 1) or abs(measured - paper) / paper < 0.02, \
+            f"{name}: {measured} vs paper {paper}"

@@ -1,0 +1,43 @@
+"""Table 3: scheduling microbenchmarks."""
+
+from conftest import run_once
+
+from repro.bench.table3_sched import PAPER_RANGES, run
+
+
+def parse_range(cell: str):
+    parts = cell.replace(",", "").split("-")
+    values = [float(p) for p in parts]
+    return values[0], values[-1]
+
+
+def parse_mid(cell: str) -> float:
+    lo, hi = parse_range(cell)
+    return (lo + hi) / 2
+
+
+def test_table3(benchmark):
+    report = run_once(benchmark, run, fast=True)
+    print()
+    print(report.render())
+    rows = report.row_map()
+    for name, (plo, phi) in PAPER_RANGES.items():
+        mlo, mhi = parse_range(rows[name][2])
+        overlaps = mlo <= phi and plo <= mhi
+        mid_close = abs((mlo + mhi) / 2 - (plo + phi) / 2) \
+            / ((plo + phi) / 2) < 0.15
+        assert overlaps or mid_close, \
+            f"{name}: {mlo:.0f}-{mhi:.0f} vs paper {plo}-{phi}"
+
+    # Ordering invariants: each optimization level strictly helps.
+    wave = [parse_mid(rows[f"wave ctx ({label})"][2])
+            for label in ("baseline", "+nic-wb", "+host-wc/wt",
+                          "+prestage/prefetch")]
+    assert wave == sorted(wave, reverse=True)
+    ghost = [parse_mid(rows[f"ghost ctx ({label})"][2])
+             for label in ("baseline", "+prestage")]
+    assert ghost[0] > ghost[1]
+    # Offload always costs more than on-host, apples to apples.
+    assert wave[-1] > ghost[-1]
+    assert parse_mid(rows["wave open+msix (baseline)"][2]) \
+        > parse_mid(rows["wave open+msix (+nic-wb)"][2])

@@ -1,0 +1,28 @@
+"""Section 7.3.3: UPI-attached emulated SmartNIC."""
+
+from conftest import run_once
+
+from repro.bench.upi_bench import run
+
+
+def parse_pct(cell: str) -> float:
+    return float(cell.rstrip("%"))
+
+
+def test_upi(benchmark):
+    report = run_once(benchmark, run, fast=True)
+    print()
+    print(report.render())
+    slowdowns = {row[0]: parse_pct(row[2]) for row in report.rows
+                 if row[2]}
+    # Offload is always slightly worse than on-host, by a few percent
+    # (paper ladder: 1.3 / 2.5 / 3.5).
+    for name, slowdown in slowdowns.items():
+        assert 0.0 < slowdown < 7.0, f"{name}: {slowdown}%"
+    # Slower emulated SmartNICs do not get faster (within knee noise).
+    assert slowdowns["UPI offload @2.0GHz"] \
+        >= slowdowns["UPI offload @3.0GHz"] - 1.5
+    # UPI at 3GHz beats the PCIe-attached SmartNIC (paper +0.9%).
+    assert "vs PCIe (paper +0.9%)" in report.notes
+    pct = float(report.notes.split("is ")[1].split("%")[0])
+    assert pct > 0.0

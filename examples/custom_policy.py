@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Tutorial: write your own scheduling policy and offload it.
+
+Wave's porting story (paper section 4.1): a policy is a pure state
+machine against :class:`repro.sched.policy.SchedPolicy`; the same class
+runs in an on-host ghOSt agent or on the SmartNIC without changes.
+
+Here we implement Shortest-Job-First (using the request's service-time
+hint) and compare it with FIFO under a bursty bimodal workload, on both
+placements.
+
+Run:  python examples/custom_policy.py
+"""
+
+import heapq
+import itertools
+import random
+
+from repro.core import Placement, WaveChannel, WaveOpts
+from repro.ghost import GhostAgent, GhostKernel, GhostTask
+from repro.ghost.task import TaskState
+from repro.hw import HwParams, Machine
+from repro.sched import FifoPolicy
+from repro.sched.policy import SchedPolicy
+from repro.sim import Environment
+
+
+class ShortestJobFirst(SchedPolicy):
+    """Run the shortest runnable task next (non-preemptive).
+
+    Uses the service-time hint carried by the request payload -- the
+    kind of application knowledge a userspace policy can exploit and a
+    kernel scheduler cannot.
+    """
+
+    time_slice = None  # run to completion
+
+    def __init__(self):
+        super().__init__()
+        self._heap = []
+        self._tiebreak = itertools.count()
+
+    def enqueue(self, task):
+        heapq.heappush(self._heap,
+                       (task.remaining_ns, next(self._tiebreak), task))
+
+    def dequeue(self):
+        while self._heap:
+            _, _, task = heapq.heappop(self._heap)
+            if task.state is TaskState.RUNNABLE:
+                return task
+        return None
+
+    def runnable_count(self):
+        return len(self._heap)
+
+
+def run_policy(policy_factory, placement, seed=4):
+    env = Environment()
+    machine = Machine(env, HwParams.pcie())
+    channel = WaveChannel(machine, placement, WaveOpts.full(), name="sjf")
+    kernel = GhostKernel(channel, core_ids=[0, 1],
+                         rng=random.Random(seed))
+    agent = GhostAgent(channel, policy_factory(), kernel.core_ids)
+    agent.start()
+    kernel.start()
+    rng = random.Random(seed)
+    short, long_ = [], []
+
+    def feeder():
+        # A bursty bimodal mix: mostly 5 us jobs, some 200 us ones.
+        for _ in range(150):
+            yield env.timeout(rng.expovariate(1.0) * 15_000)
+            if rng.random() < 0.15:
+                task = GhostTask(service_ns=200_000)
+                long_.append(task)
+            else:
+                task = GhostTask(service_ns=5_000)
+                short.append(task)
+            yield from kernel.submit(task)
+
+    env.process(feeder())
+    env.run(until=50_000_000)
+    p99 = sorted(t.latency_ns for t in short if t.done)
+    return p99[int(0.99 * (len(p99) - 1))] / 1000.0
+
+
+def main() -> None:
+    print("Short-job p99 latency (us), bursty bimodal mix:")
+    print(f"{'policy':<22}{'on-host':>10}{'SmartNIC':>10}")
+    for name, factory in (("FIFO", FifoPolicy),
+                          ("Shortest-Job-First", ShortestJobFirst)):
+        onhost = run_policy(factory, Placement.HOST)
+        offload = run_policy(factory, Placement.NIC)
+        print(f"{name:<22}{onhost:>10.1f}{offload:>10.1f}")
+    print()
+    print("SJF protects short jobs from the 200 us ones; the policy is")
+    print("~20 lines and runs unchanged in either placement.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Agent crashes, enclaves, and recovery (paper sections 3.3, 6).
+
+Demonstrates the operational side of Wave:
+
+1. per-CCX *enclaves*, each with its own SmartNIC agent and policy;
+2. an agent crash mid-burst;
+3. the watchdog detecting it and the failover manager restarting a
+   replacement, which pulls the runnable-task snapshot from the host
+   kernel (the source of truth) and finishes the stranded work.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+import random
+
+from repro.core import Placement
+from repro.ghost import (
+    EnclaveManager,
+    FailoverManager,
+    GhostAgent,
+    GhostTask,
+)
+from repro.hw import HwParams, Machine
+from repro.sched import FifoPolicy
+from repro.sim import Environment
+
+
+def enclave_demo() -> None:
+    env = Environment()
+    machine = Machine(env, HwParams.pcie())
+    manager = EnclaveManager.per_ccx(machine, 2, FifoPolicy, seed=1)
+    manager.start()
+    tasks = [GhostTask(service_ns=10_000) for _ in range(60)]
+
+    def feeder():
+        for task in tasks:
+            yield from manager.submit(task)
+
+    env.process(feeder())
+    env.run(until=20_000_000)
+    print("Enclaves (one agent per CCX):")
+    for enclave in manager.enclaves:
+        print(f"  {enclave.name}: cores {enclave.core_ids[0]}-"
+              f"{enclave.core_ids[-1]}, completed {enclave.completed}, "
+              f"p99 {enclave.latency.p99 / 1000:.1f} us")
+
+
+def failover_demo() -> None:
+    env = Environment()
+    machine = Machine(env, HwParams.pcie())
+    from repro.core import WaveChannel, WaveOpts
+    from repro.ghost import GhostKernel
+    channel = WaveChannel(machine, Placement.NIC, WaveOpts.full(),
+                          name="ft")
+    kernel = GhostKernel(channel, core_ids=list(range(4)),
+                         rng=random.Random(2))
+    agent = GhostAgent(channel, FifoPolicy(), kernel.core_ids)
+    generation = [0]
+
+    def replacement():
+        generation[0] += 1
+        return GhostAgent(channel, FifoPolicy(), kernel.core_ids,
+                          name=f"agent-gen{generation[0]}")
+
+    manager = FailoverManager(kernel, agent, replacement,
+                              watchdog_timeout_ns=10_000_000)
+    agent.start()
+    kernel.start()
+    tasks = [GhostTask(service_ns=250_000) for _ in range(40)]
+
+    def feeder():
+        for task in tasks:
+            yield from kernel.submit(task)
+
+    def saboteur():
+        yield env.timeout(500_000)
+        print(f"\n  t={env.now / 1e6:.1f} ms: killing the agent mid-burst "
+              f"({kernel.completed} done)")
+        agent.kill("injected crash")
+
+    env.process(feeder())
+    env.process(saboteur())
+    env.run(until=60_000_000)
+    print(f"  t={env.now / 1e6:.1f} ms: failovers={manager.failovers}, "
+          f"recovered tasks={manager.recovered_tasks}")
+    print(f"  all {len(tasks)} tasks completed: "
+          f"{all(t.done for t in tasks)} (current agent: "
+          f"{manager.current.name})")
+
+
+def main() -> None:
+    enclave_demo()
+    failover_demo()
+
+
+if __name__ == "__main__":
+    main()

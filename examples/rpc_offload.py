@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Offloading the RPC stack + scheduler together (paper section 7.3).
+
+Compares the three Fig 6 deployments at one load point, for both the
+single-queue Shinjuku policy and the SLO-aware multi-queue policy that
+only works well when scheduling is co-located with the RPC stack on the
+SmartNIC.
+
+Run:  python examples/rpc_offload.py
+"""
+
+from repro.rpc import RpcScenario, run_rpc_point
+
+
+def main() -> None:
+    rate = 200_000
+    print(f"RocksDB over RPC at {rate:,} req/s "
+          f"(99.5% 10us GET / 0.5% 10ms RANGE):\n")
+    for multiqueue, label in ((False, "single-queue Shinjuku"),
+                              (True, "multi-queue SLO Shinjuku")):
+        print(f"-- {label} --")
+        for scenario in (RpcScenario.ONHOST_ALL, RpcScenario.ONHOST_SCHED,
+                         RpcScenario.OFFLOAD_ALL):
+            result = run_rpc_point(scenario, multiqueue, rate,
+                                   duration_ns=40_000_000,
+                                   warmup_ns=10_000_000)
+            print(f"  {scenario.value:<18s} host cores "
+                  f"{result.host_cores_used:>2d}  "
+                  f"GET p50 {result.get_p50_ns / 1000:>6.1f} us  "
+                  f"p99 {result.get_p99_ns / 1000:>7.1f} us  "
+                  f"stack util {result.stack_utilization:.2f}")
+        print()
+    print("Offload-All matches OnHost-All while freeing 9 host cores;")
+    print("OnHost-Scheduler drowns in MMIO header reads; the multi-queue")
+    print("policy needs the SLO, which only the SmartNIC sees cheaply.")
+
+
+if __name__ == "__main__":
+    main()

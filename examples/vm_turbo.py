@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""VM scheduling without timer ticks (paper section 7.2.4).
+
+Two 128-vCPU VMs share one 128-logical-core socket. On-host ghOSt needs
+a 1 ms tick on every core; Wave moves the policy to the SmartNIC and
+disables ticks, letting idle cores reach deep C-states so busy cores
+turbo higher. Prints Fig 5b's improvement curve.
+
+Run:  python examples/vm_turbo.py
+"""
+
+from repro.sched.vm_experiment import run_vm_point
+
+
+def main() -> None:
+    print("active  wave GHz  awake  on-host GHz  improvement  (paper)")
+    paper = {1: "+11.2%", 31: "+9.7%", 128: "+1.7%"}
+    for n in (1, 8, 16, 31, 48, 64, 96, 128):
+        wave = run_vm_point(n, ticks=False, measure_ns=50_000_000)
+        onhost = run_vm_point(n, ticks=True, measure_ns=50_000_000)
+        improvement = 100 * (wave.total_work / onhost.total_work - 1)
+        print(f"{n:>6d}  {wave.frequency_ghz:>8.2f}  {wave.awake_cores:>5d}"
+              f"  {onhost.frequency_ghz:>11.2f}  {improvement:>+10.1f}%"
+              f"  {paper.get(n, ''):>8s}")
+    print()
+    print("With ticks every core stays awake at the 3.2 GHz floor and")
+    print("loses 1.7% of cycles to tick processing; without ticks the")
+    print("idle cores sleep and the busy ones boost toward 3.5 GHz.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: enables editable installs without network access."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""Wave: Offloading Resource Management to SmartNIC Cores (ASPLOS 2025).
+
+Simulation-based reproduction. The package is organised bottom-up:
+
+- :mod:`repro.sim` -- discrete-event simulation kernel.
+- :mod:`repro.hw` -- host CPU, SmartNIC SoC, and PCIe/UPI interconnect models.
+- :mod:`repro.queues` -- Floem-style shared-memory queues (MMIO / DMA backed).
+- :mod:`repro.core` -- the Wave framework: API, agents, transactions.
+- :mod:`repro.ghost` -- ghOSt-style kernel scheduling class substrate.
+- :mod:`repro.sched` -- scheduling policies (FIFO, Shinjuku, VM, CFS).
+- :mod:`repro.mem` -- memory management substrate and the SOL ML policy.
+- :mod:`repro.rpc` -- Stubby-like RPC stack and steering policies.
+- :mod:`repro.workloads` -- RocksDB model, load generators, busy_loop.
+- :mod:`repro.bench` -- one experiment module per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

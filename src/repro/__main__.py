@@ -1,0 +1,98 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands::
+
+    list                 show the available experiments
+    run <experiment>     run one experiment (``--fast`` for CI params)
+    all [--fast]         regenerate EXPERIMENTS.md
+    info                 print the calibration table
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+
+EXPERIMENTS = {
+    "table2": ("repro.bench.table2_hw", "Table 2: hardware microbenchmarks"),
+    "table3": ("repro.bench.table3_sched",
+               "Table 3: scheduling microbenchmarks"),
+    "fig4a": ("repro.bench.fig4_fifo", "Fig 4a: FIFO scheduling"),
+    "opt-breakdown": ("repro.bench.opt_breakdown",
+                      "Section 7.2.2: optimization ladder"),
+    "fig4b": ("repro.bench.fig4_shinjuku", "Fig 4b: Shinjuku scheduling"),
+    "fig5": ("repro.bench.fig5_vm", "Fig 5: VM turbo/ticks"),
+    "fig6": ("repro.bench.fig6_rpc", "Fig 6: RPC deployments"),
+    "upi": ("repro.bench.upi_bench", "Section 7.3.3: UPI emulation"),
+    "sol-table": ("repro.bench.sol_table",
+                  "Section 7.4.2: SOL iteration durations"),
+    "sol-footprint": ("repro.bench.sol_footprint",
+                      "Section 7.4.2: SOL's RocksDB effect"),
+    "mem-policies": ("repro.bench.mem_policies",
+                     "Ablation: SOL vs the CLOCK baseline"),
+}
+
+
+def cmd_list() -> int:
+    width = max(len(k) for k in EXPERIMENTS)
+    for key, (_, title) in EXPERIMENTS.items():
+        print(f"  {key:<{width}}  {title}")
+    return 0
+
+
+def cmd_run(name: str, fast: bool) -> int:
+    if name not in EXPERIMENTS:
+        print(f"unknown experiment {name!r}; try: python -m repro list",
+              file=sys.stderr)
+        return 2
+    module_name, _ = EXPERIMENTS[name]
+    module = __import__(module_name, fromlist=["run"])
+    print(module.run(fast=fast).render())
+    return 0
+
+
+def cmd_all(fast: bool) -> int:
+    from repro.bench.generate import main as generate_main
+    generate_main(["--fast"] if fast else [])
+    return 0
+
+
+def cmd_info() -> int:
+    from repro import __version__
+    from repro.hw import HwParams
+    print(f"wave-repro {__version__}")
+    print("calibration (PCIe preset):")
+    for field in dataclasses.fields(HwParams):
+        value = getattr(HwParams.pcie(), field.name)
+        print(f"  {field.name:<24} {value}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Wave (ASPLOS 2025) reproduction harness")
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list experiments")
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment")
+    run_p.add_argument("--fast", action="store_true")
+    all_p = sub.add_parser("all", help="regenerate EXPERIMENTS.md")
+    all_p.add_argument("--fast", action="store_true")
+    sub.add_parser("info", help="print version + calibration table")
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "run":
+        return cmd_run(args.experiment, args.fast)
+    if args.command == "all":
+        return cmd_all(args.fast)
+    if args.command == "info":
+        return cmd_info()
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

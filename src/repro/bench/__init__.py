@@ -1,0 +1,12 @@
+"""Benchmark harness: one module per paper table/figure.
+
+Every module exposes ``run(fast=True)`` returning an
+:class:`~repro.bench.reporting.ExperimentReport` (paper value vs
+measured value per row) and a ``main()`` that prints it. ``fast=True``
+uses shorter simulation windows and coarser load grids for CI /
+pytest-benchmark; ``fast=False`` is what EXPERIMENTS.md records.
+"""
+
+from repro.bench.reporting import ExperimentReport, render_table
+
+__all__ = ["ExperimentReport", "render_table"]

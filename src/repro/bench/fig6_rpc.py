@@ -1,0 +1,110 @@
+"""Fig 6: RocksDB over RPC -- stack/scheduler placement scenarios.
+
+Fig 6a (single-queue Shinjuku): Offload-All ~= OnHost-All while freeing
+9 host cores; OnHost-Scheduler saturates far lower (MMIO header reads);
+Offload-All restricted to 15 host cores is 6.3% below OnHost-All.
+
+Fig 6b (multi-queue SLO Shinjuku): Offload-All saturates 20.8% above
+its single-queue self and within 2.2% of OnHost-All; apples-to-apples
+it is 7.4% below.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bench.reporting import ExperimentReport
+from repro.rpc.experiment import (
+    RpcPointResult,
+    RpcScenario,
+    run_rpc_point,
+    saturation_at_slo,
+    sweep_rpc_load,
+)
+
+#: Where saturation is read off each curve: single-queue tails blow up
+#: near the knee (read at 300 us); the SLO-aware policy is read at the
+#: GET class SLO itself.
+SLO_SINGLE_NS = 300_000.0
+SLO_MULTI_NS = 200_000.0
+
+FAST_RATES = {
+    RpcScenario.ONHOST_ALL: [180_000, 210_000, 230_000, 245_000, 258_000],
+    RpcScenario.OFFLOAD_ALL: [180_000, 210_000, 230_000, 245_000, 258_000],
+    RpcScenario.ONHOST_SCHED: [80_000, 110_000, 140_000, 160_000],
+}
+FULL_RATES = {
+    RpcScenario.ONHOST_ALL:
+        [150_000, 180_000, 205_000, 220_000, 232_000, 242_000, 250_000],
+    RpcScenario.OFFLOAD_ALL:
+        [150_000, 180_000, 205_000, 220_000, 232_000, 242_000, 250_000],
+    RpcScenario.ONHOST_SCHED:
+        [70_000, 95_000, 115_000, 132_000, 147_000, 158_000, 168_000],
+}
+
+
+def _sweep(scenario, multiqueue, fast, worker_cores=None, seed=1):
+    rates = (FAST_RATES if fast else FULL_RATES)[scenario]
+    duration = 70_000_000 if fast else 90_000_000
+    return sweep_rpc_load(scenario, multiqueue, rates,
+                          worker_cores=worker_cores,
+                          duration_ns=duration, warmup_ns=duration // 4,
+                          seed=seed)
+
+
+def run(fast: bool = True) -> ExperimentReport:
+    """Run the experiment; returns a paper-vs-measured report."""
+    rows = []
+    sats: Dict[tuple, float] = {}
+    points_cache: Dict[tuple, list] = {}
+    for multiqueue, slo in ((False, SLO_SINGLE_NS), (True, SLO_MULTI_NS)):
+        # The multi-queue policy protects GET tails even past capacity
+        # (RANGE work backs up silently), so 6b also requires a stable
+        # run queue, measured in queued work.
+        backlog_ms = 100.0 if multiqueue else None
+        for scenario in (RpcScenario.ONHOST_ALL, RpcScenario.ONHOST_SCHED,
+                         RpcScenario.OFFLOAD_ALL):
+            points = _sweep(scenario, multiqueue, fast)
+            points_cache[(multiqueue, scenario)] = points
+            sats[(multiqueue, scenario)] = saturation_at_slo(
+                points, slo, backlog_work_limit_ms=backlog_ms)
+        # Apples-to-apples: Offload-All restricted to 15 host cores.
+        points15 = _sweep(RpcScenario.OFFLOAD_ALL, multiqueue, fast,
+                          worker_cores=15)
+        sats[(multiqueue, "offload-15")] = saturation_at_slo(
+            points15, slo, backlog_work_limit_ms=backlog_ms)
+
+    for multiqueue, figure in ((False, "6a"), (True, "6b")):
+        base = sats[(multiqueue, RpcScenario.ONHOST_ALL)]
+        for scenario in (RpcScenario.ONHOST_ALL, RpcScenario.ONHOST_SCHED,
+                         RpcScenario.OFFLOAD_ALL):
+            sat = sats[(multiqueue, scenario)]
+            rows.append((figure, scenario.value, f"{sat:,.0f}",
+                         f"{100 * (sat / base - 1):+.1f}%"))
+        sat15 = sats[(multiqueue, "offload-15")]
+        rows.append((figure, "offload-all (15 cores)", f"{sat15:,.0f}",
+                     f"{100 * (sat15 / base - 1):+.1f}%"))
+    # The paper's +20.8% compares both policies at the GET class SLO.
+    single_at_slo = saturation_at_slo(
+        points_cache[(False, RpcScenario.OFFLOAD_ALL)], SLO_MULTI_NS)
+    multi_at_slo = sats[(True, RpcScenario.OFFLOAD_ALL)]
+    mq_gain = 100.0 * (multi_at_slo / max(single_at_slo, 1.0) - 1.0)
+    return ExperimentReport(
+        experiment_id="fig6",
+        title="RPC deployments: saturation and deltas vs OnHost-All",
+        headers=("figure", "scenario", "saturation", "vs onhost-all"),
+        rows=rows,
+        notes=f"Multi-queue Offload-All gains {mq_gain:+.1f}% over "
+              f"single-queue at the {SLO_MULTI_NS / 1000:.0f} us GET SLO "
+              f"(paper +20.8%). Paper deltas: 6a offload-15 -6.3%; "
+              f"6b offload-all -2.2%, offload-15 -7.4%.",
+    )
+
+
+def main() -> None:
+    """Print the full-parameter report to stdout."""
+    print(run(fast=False).render())
+
+
+if __name__ == "__main__":
+    main()

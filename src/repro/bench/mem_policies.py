@@ -1,0 +1,75 @@
+"""Memory policy comparison: SOL vs the CLOCK baseline (section 4.2).
+
+Not a paper table -- an ablation quantifying why SOL's adaptive scan
+frequencies matter: "SOL determines the optimal frequency to scan each
+batch's access bits as each scan requires (1) flushing the TLB and (2)
+policy computation."
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import ExperimentReport
+from repro.hw import HwParams, Machine
+from repro.mem import (
+    AddressSpace,
+    EPOCH_NS,
+    MemAgentPlacement,
+    MemoryAgent,
+    TieredMemory,
+)
+from repro.mem.clock import ClockPolicy
+from repro.sim import Environment
+
+FAST_BYTES = 4 * 1024 ** 3
+FULL_BYTES = 32 * 1024 ** 3
+
+
+def _run_policy(policy_name: str, total_bytes: int, epochs: float,
+                n_cores: int = 16, seed: int = 0):
+    env = Environment()
+    machine = Machine(env, HwParams.pcie())
+    space = AddressSpace(total_bytes=total_bytes, seed=seed)
+    tiers = TieredMemory(space)
+    policy = ClockPolicy(space, seed=seed) if policy_name == "clock" else None
+    agent = MemoryAgent(env, machine, space, tiers,
+                        MemAgentPlacement.NIC, n_cores, policy=policy,
+                        seed=seed)
+    agent.start()
+    env.run(until=epochs * EPOCH_NS)
+    return agent, tiers, space
+
+
+def run(fast: bool = True) -> ExperimentReport:
+    """Run the experiment; returns a paper-vs-measured report."""
+    total_bytes = FAST_BYTES if fast else FULL_BYTES
+    epochs = 1.5 if fast else 3.0
+    rows = []
+    for name in ("sol", "clock"):
+        agent, tiers, space = _run_policy(name, total_bytes, epochs)
+        scanner = agent.policy.scanner
+        duration = agent.steady_state_duration_ms()
+        window_s = epochs * EPOCH_NS / 1e9
+        rows.append((name,
+                     f"{duration:,.0f}",
+                     f"{scanner.tlb_flushes / window_s:,.0f}",
+                     f"{tiers.fast_gib:.2f}",
+                     f"{tiers.hit_fast_fraction():.4f}"))
+    return ExperimentReport(
+        experiment_id="ablation-mem-policy",
+        title="SOL vs CLOCK baseline (16 SmartNIC cores)",
+        headers=("policy", "iteration (ms)", "TLB flushes/s",
+                 "DRAM (GiB)", "hit fraction"),
+        rows=rows,
+        notes="CLOCK sweeps every batch every period: comparable "
+              "placement quality but far more scanning overhead -- the "
+              "cost SOL's Thompson-sampled frequencies avoid.",
+    )
+
+
+def main() -> None:
+    """Print the full-parameter report to stdout."""
+    print(run(fast=False).render())
+
+
+if __name__ == "__main__":
+    main()

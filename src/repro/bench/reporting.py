@@ -1,0 +1,74 @@
+"""Shared result reporting for the benchmark harness."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence
+
+
+@dataclasses.dataclass
+class ExperimentReport:
+    """Paper-vs-measured rows for one table or figure."""
+
+    experiment_id: str            #: e.g. "table2", "fig4a"
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]]
+    notes: str = ""
+
+    def render(self) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} ==",
+                 render_table(self.headers, self.rows)]
+        if self.notes:
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+    def row_map(self, key_column: int = 0) -> Dict[Any, Sequence[Any]]:
+        """Index rows by one column for assertions."""
+        return {row[key_column]: row for row in self.rows}
+
+
+def render_table(headers: Sequence[str], rows: List[Sequence[Any]]) -> str:
+    """Plain-text table with right-aligned numeric columns."""
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000:
+                return f"{value:,.0f}"
+            return f"{value:,.2f}".rstrip("0").rstrip(".")
+        return str(value)
+
+    table = [[fmt(v) for v in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in table)) if table else len(h)
+              for i, h in enumerate(headers)]
+    out = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    out.append("  ".join("-" * w for w in widths))
+    for row in table:
+        out.append("  ".join(cell.rjust(widths[i]) if _numericish(cell)
+                             else cell.ljust(widths[i])
+                             for i, cell in enumerate(row)))
+    return "\n".join(out)
+
+
+def _numericish(cell: str) -> bool:
+    return bool(cell) and (cell[0].isdigit() or cell[0] in "+-.")
+
+
+def write_csv(path: str, headers: Sequence[str],
+              rows: List[Sequence[Any]]) -> None:
+    """Dump a report's rows as CSV (for external plotting)."""
+    import csv
+
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(row)
+
+
+def pct_delta(measured: float, paper: float) -> float:
+    """Signed % difference of measured vs paper."""
+    if paper == 0:
+        return float("nan")
+    return 100.0 * (measured - paper) / paper

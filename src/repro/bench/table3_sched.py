@@ -1,0 +1,133 @@
+"""Table 3: scheduling microbenchmarks.
+
+Row 1 (open a decision + MSI-X) composes the agent's decision-write
+primitives; rows 2/4 (context-switch overhead) run a single-core
+deep-queue FIFO simulation five times and report the range of medians,
+exactly how the paper measured it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.bench.reporting import ExperimentReport
+from repro.core import Placement, WaveChannel, WaveOpts
+from repro.ghost import GhostAgent, GhostKernel, GhostTask
+from repro.hw import HwParams, Machine, PteType
+from repro.sched import FifoPolicy
+from repro.sim import Environment
+
+PAPER_RANGES = {
+    "wave open+msix (baseline)": (1013, 1013),
+    "wave open+msix (+nic-wb)": (426, 426),
+    "wave ctx (baseline)": (13310, 13530),
+    "wave ctx (+nic-wb)": (9940, 10160),
+    "wave ctx (+host-wc/wt)": (6100, 6910),
+    "wave ctx (+prestage/prefetch)": (3320, 4040),
+    "ghost open+ipi": (770, 770),
+    "ghost ctx (baseline)": (4380, 4990),
+    "ghost ctx (+prestage)": (2350, 3260),
+}
+
+WAVE_CTX_ROWS = [
+    ("wave ctx (baseline)", WaveOpts.baseline()),
+    ("wave ctx (+nic-wb)", WaveOpts.nic_wb_only()),
+    ("wave ctx (+host-wc/wt)", WaveOpts.wc_wt()),
+    ("wave ctx (+prestage/prefetch)", WaveOpts.full()),
+]
+GHOST_CTX_ROWS = [
+    ("ghost ctx (baseline)",
+     WaveOpts(nic_wb=True, host_wc_wt=True, prestage=False, prefetch=False)),
+    ("ghost ctx (+prestage)", WaveOpts.full()),
+]
+
+
+def measure_ctx_median(placement: Placement, opts: WaveOpts, seed: int,
+                       tasks: int) -> float:
+    """Median inter-task switch overhead on one deep-queued core."""
+    env = Environment()
+    machine = Machine(env, HwParams.pcie())
+    channel = WaveChannel(machine, placement, opts, name="t3")
+    kernel = GhostKernel(channel, core_ids=[0], rng=random.Random(seed),
+                         record_switch_overhead=True)
+    agent = GhostAgent(channel, FifoPolicy(), [0])
+    agent.start()
+    kernel.start()
+
+    def feeder():
+        for _ in range(tasks):
+            yield from kernel.submit(GhostTask(service_ns=10_000))
+
+    env.process(feeder())
+    env.run(until=tasks * 40_000)
+    return kernel.switch_overhead.p50
+
+
+def measure_ctx_range(placement: Placement, opts: WaveOpts,
+                      repeats: int, tasks: int) -> Tuple[float, float]:
+    medians = [measure_ctx_median(placement, opts, seed, tasks)
+               for seed in range(repeats)]
+    return min(medians), max(medians)
+
+
+def measure_open_decision(nic_pte: PteType) -> float:
+    """Agent opens one decision and sends an ioctl MSI-X."""
+    env = Environment()
+    machine = Machine(env, HwParams.pcie())
+    link = machine.interconnect
+    channel = WaveChannel(machine, Placement.NIC, name="t3r1")
+    path = link.nic_path(nic_pte)
+    return (path.write_words(0, channel.entry_words + 1)
+            + link.msix_send(via_ioctl=True))
+
+
+def run(fast: bool = True) -> ExperimentReport:
+    """Run the experiment; returns a paper-vs-measured report."""
+    repeats = 3 if fast else 5
+    tasks = 120 if fast else 300
+    rows = []
+
+    def add(name, lo, hi):
+        plo, phi = PAPER_RANGES[name]
+        paper = f"{plo:,.0f}" if plo == phi else f"{plo:,.0f}-{phi:,.0f}"
+        got = f"{lo:,.0f}" if round(lo) == round(hi) else f"{lo:,.0f}-{hi:,.0f}"
+        mid, pmid = (lo + hi) / 2, (plo + phi) / 2
+        rows.append((name, paper, got, f"{100 * (mid / pmid - 1):+.0f}%"))
+
+    open_base = measure_open_decision(PteType.UC)
+    add("wave open+msix (baseline)", open_base, open_base)
+    open_wb = measure_open_decision(PteType.WB)
+    add("wave open+msix (+nic-wb)", open_wb, open_wb)
+    for name, opts in WAVE_CTX_ROWS:
+        lo, hi = measure_ctx_range(Placement.NIC, opts, repeats, tasks)
+        add(name, lo, hi)
+
+    env = Environment()
+    machine = Machine(env, HwParams.pcie())
+    channel = WaveChannel(machine, Placement.HOST, name="t3r3")
+    shm = machine.interconnect.host_local_path()
+    open_host = (shm.write_words(0, channel.entry_words + 1)
+                 + machine.params.host_ipi_send)
+    add("ghost open+ipi", open_host, open_host)
+    for name, opts in GHOST_CTX_ROWS:
+        lo, hi = measure_ctx_range(Placement.HOST, opts, repeats, tasks)
+        add(name, lo, hi)
+
+    return ExperimentReport(
+        experiment_id="table3",
+        title="Scheduling microbenchmarks (ns; range of medians)",
+        headers=("row", "paper", "measured", "delta(mid)"),
+        rows=rows,
+        notes="Context-switch rows: median inter-task overhead on one "
+              "deep-queued core, %d repeats." % repeats,
+    )
+
+
+def main() -> None:
+    """Print the full-parameter report to stdout."""
+    print(run(fast=False).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""The Wave framework (paper section 3).
+
+Wave offloads userspace system software to *agents* on the SmartNIC.
+The host kernel sends state messages over a unidirectional queue; agents
+make decisions and commit them back as atomic *transactions*; the host
+enforces committed decisions. Everything crosses PCIe, so the channel is
+parameterized by the section 5 optimizations (:class:`WaveOpts`).
+"""
+
+from repro.core.messages import Message
+from repro.core.txn import Transaction, TxnOutcome, TxnSlot
+from repro.core.opts import WaveOpts
+from repro.core.channel import WaveChannel, Placement
+from repro.core.api import WaveHostApi, WaveNicApi
+from repro.core.agent import WaveAgent, ComposedAgent
+from repro.core.watchdog import Watchdog
+from repro.core.queues_api import QueueManager, QueueHandle
+
+__all__ = [
+    "Message",
+    "Transaction",
+    "TxnOutcome",
+    "TxnSlot",
+    "WaveOpts",
+    "WaveChannel",
+    "Placement",
+    "WaveHostApi",
+    "WaveNicApi",
+    "WaveAgent",
+    "ComposedAgent",
+    "Watchdog",
+    "QueueManager",
+    "QueueHandle",
+]

@@ -1,0 +1,125 @@
+"""The Wave API (paper Table 1).
+
+Host-side and SmartNIC-side facades over a :class:`WaveChannel`. Every
+method is a generator: call it with ``yield from`` inside a simulation
+process so the caller is charged the operation's CPU cost on its own
+timeline.
+
+Table 1 mapping::
+
+    Host API                      SmartNIC API
+    ----------------------------  --------------------------------
+    SEND_MESSAGES   send_messages  POLL_MESSAGES  poll_messages /
+    PREFETCH_TXNS   prefetch_txns                 wait_messages
+    POLL_TXNS       poll_txns      TXN_CREATE     txn_create
+    SET_TXNS_OUTCOMES              TXNS_COMMIT    txns_commit
+                    set_txns_outcomes
+                                   POLL_TXNS_OUTCOMES
+                                                  poll_txns_outcomes
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.core.channel import WaveChannel
+from repro.core.messages import Message
+from repro.core.txn import Transaction, TxnOutcome
+
+
+class WaveHostApi:
+    """What the host kernel calls (left column of Table 1)."""
+
+    def __init__(self, channel: WaveChannel):
+        self.channel = channel
+        self.env = channel.env
+
+    def send_messages(self, messages: List[Message]):
+        """SEND_MESSAGES(): enqueue a batch of state updates."""
+        for message in messages:
+            message.sent_at = self.env.now
+        cost = self.channel.msg_ring.produce(messages)
+        yield self.env.timeout(cost)
+        return cost
+
+    def prefetch_txns(self, target: Any):
+        """PREFETCH_TXNS(): start pulling ``target``'s decision slot into
+        the host cache behind other kernel work (section 5.4)."""
+        cost = self.channel.slot(target).prefetch()
+        yield self.env.timeout(cost)
+        return cost
+
+    def poll_txns(self, target: Any):
+        """POLL_TXNS(): take the pending transaction for ``target`` if
+        one is staged; returns None otherwise."""
+        txn, cost = self.channel.slot(target).take()
+        yield self.env.timeout(cost)
+        return txn
+
+    def set_txns_outcomes(self, txns: Iterable[Transaction]):
+        """SET_TXNS_OUTCOMES(): report enforcement results to the agent."""
+        outcomes = [Message("wave.outcome", (t.txn_id, t.target, t.outcome))
+                    for t in txns]
+        cost = self.channel.outcome_ring.produce(outcomes)
+        yield self.env.timeout(cost)
+        return cost
+
+
+class WaveNicApi:
+    """What the agent calls (right column of Table 1)."""
+
+    def __init__(self, channel: WaveChannel):
+        self.channel = channel
+        self.env = channel.env
+
+    def wait_messages(self, max_batch: int = 64):
+        """Blocking POLL_MESSAGES(): agents poll (section 3.1); this
+        models the poll loop without simulating every spin iteration --
+        the agent wakes when entries become visible and pays one poll
+        check plus the reads."""
+        ring = self.channel.msg_ring
+        while True:
+            messages, cost = ring.consume(max_batch)
+            if messages:
+                yield self.env.timeout(cost)
+                return messages
+            yield self.env.timeout(ring.poll_cost())
+            yield ring.wait_nonempty()
+
+    def poll_messages(self, max_batch: int = 64):
+        """Non-blocking POLL_MESSAGES(): one poll, maybe empty."""
+        ring = self.channel.msg_ring
+        messages, cost = ring.consume(max_batch)
+        if not messages:
+            cost += ring.poll_cost()
+        yield self.env.timeout(cost)
+        return messages
+
+    def txn_create(self, target: Any, payload: Any) -> Transaction:
+        """TXN_CREATE(): build a decision transaction (pure CPU-local)."""
+        return Transaction(target=target, payload=payload,
+                           created_at=self.env.now)
+
+    def txns_commit(self, txns: List[Transaction], send_msix: bool = True):
+        """TXNS_COMMIT(): stash each transaction in its target's slot
+        and optionally kick the host with one MSI-X (section 3.2 allows
+        skipping the MSI-X when the host polls instead).
+
+        Returns the notification delivery event (None if skipped).
+        """
+        cost = 0.0
+        delivery = None
+        for txn in txns:
+            cost += self.channel.slot(txn.target).stash(txn)
+            if send_msix:
+                send_cost, delivery = self.channel.notify_host(via_ioctl=True)
+                cost += send_cost
+                self.channel.dispatch_interrupt(txn.target, delivery)
+        yield self.env.timeout(cost)
+        return delivery
+
+    def poll_txns_outcomes(self, max_batch: int = 64):
+        """POLL_TXNS_OUTCOMES(): read back enforcement results."""
+        outcomes, cost = self.channel.outcome_ring.consume(max_batch)
+        yield self.env.timeout(cost)
+        return [m.payload for m in outcomes]

@@ -1,0 +1,27 @@
+"""Messages: host kernel -> agent state updates."""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any
+
+_seq = itertools.count()
+
+
+@dataclasses.dataclass
+class Message:
+    """One state-update message (e.g. "thread 7 blocked").
+
+    ``kind`` is a short string namespaced by the system software that
+    owns it (``ghost.task_new``, ``mem.pte_batch``, ``rpc.response``);
+    ``payload`` is policy-specific.
+    """
+
+    kind: str
+    payload: Any = None
+    sent_at: float = 0.0
+    seq: int = dataclasses.field(default_factory=lambda: next(_seq))
+
+    def __repr__(self) -> str:
+        return f"<Message {self.kind} seq={self.seq}>"

@@ -1,0 +1,78 @@
+"""The cumulative Wave optimization levels of section 7.2.2.
+
+The paper evaluates four configurations, each adding one optimization:
+
+1. *baseline* -- everything uncacheable, synchronous decision waits.
+2. *+ SmartNIC WB PTEs* (section 5.3.1) -- agents map their own DRAM
+   write-back instead of as device memory.
+3. *+ host WC/WT PTEs* (section 5.3.1-5.3.2) -- the host maps the
+   message queue write-combining and the decision slots write-through.
+4. *+ prestage & prefetch* (section 5.4) -- agents stage decisions ahead
+   of need; the host prefetches them behind its kernel work.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hw.pte import PteType
+
+
+@dataclasses.dataclass(frozen=True)
+class WaveOpts:
+    """Which section 5 optimizations are enabled."""
+
+    nic_wb: bool = True        #: WB PTEs on the SmartNIC (5.3.1)
+    host_wc_wt: bool = True    #: WC messages / WT decisions on host (5.3.1)
+    prestage: bool = True      #: decisions staged ahead of need (5.4)
+    prefetch: bool = True      #: host prefetches staged decisions (5.4)
+
+    def __post_init__(self):
+        if self.prefetch and not self.host_wc_wt:
+            raise ValueError(
+                "prefetching requires WT host mappings (section 5.4)")
+
+    @property
+    def nic_pte(self) -> PteType:
+        return PteType.WB if self.nic_wb else PteType.UC
+
+    @property
+    def host_msg_pte(self) -> PteType:
+        return PteType.WC if self.host_wc_wt else PteType.UC
+
+    @property
+    def host_txn_pte(self) -> PteType:
+        return PteType.WT if self.host_wc_wt else PteType.UC
+
+    # -- the four cumulative levels of section 7.2.2 --------------------
+
+    @classmethod
+    def baseline(cls) -> "WaveOpts":
+        """No optimizations (section 7.2.2 row 1)."""
+        return cls(nic_wb=False, host_wc_wt=False,
+                   prestage=False, prefetch=False)
+
+    @classmethod
+    def nic_wb_only(cls) -> "WaveOpts":
+        """+ SmartNIC WB PTEs (row 2)."""
+        return cls(nic_wb=True, host_wc_wt=False,
+                   prestage=False, prefetch=False)
+
+    @classmethod
+    def wc_wt(cls) -> "WaveOpts":
+        """+ host WC/WT PTEs (row 3)."""
+        return cls(nic_wb=True, host_wc_wt=True,
+                   prestage=False, prefetch=False)
+
+    @classmethod
+    def full(cls) -> "WaveOpts":
+        """+ prestaging and prefetching (row 4) -- production Wave."""
+        return cls()
+
+    @classmethod
+    def ladder(cls):
+        """The four levels in the order the paper applies them."""
+        return [("baseline", cls.baseline()),
+                ("+nic-wb", cls.nic_wb_only()),
+                ("+host-wc/wt", cls.wc_wt()),
+                ("+prestage/prefetch", cls.full())]

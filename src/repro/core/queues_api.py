@@ -1,0 +1,169 @@
+"""Queue lifecycle management (the Queues section of Table 1).
+
+``CREATE_QUEUE / DESTROY_QUEUE / ASSOC_QUEUE_WITH / SET_QUEUE_TYPE``:
+the SmartNIC side owns queue setup -- it allocates the backing memory
+in SoC DRAM, picks the transport (MMIO vs sync/async DMA), and
+associates each queue with an (agent, host core) pair so MSI-X routing
+and polling assignments are unambiguous.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any, Dict, Optional, Union
+
+from repro.hw.platform import Machine
+from repro.hw.pte import PteType
+from repro.queues.config import QueueType
+from repro.queues.dma import DmaQueue
+from repro.queues.ring import FloemRing
+
+_queue_ids = itertools.count(1)
+
+
+@dataclasses.dataclass
+class QueueBinding:
+    """ASSOC_QUEUE_WITH(): who produces and who consumes a queue."""
+
+    agent_name: str
+    host_core: int
+
+
+class QueueHandle:
+    """One managed queue: its ring plus configuration metadata."""
+
+    def __init__(self, name: str, queue_type: QueueType,
+                 ring: Union[FloemRing, DmaQueue],
+                 host_produces: bool):
+        self.queue_id = next(_queue_ids)
+        self.name = name
+        self.queue_type = queue_type
+        self.ring = ring
+        self.host_produces = host_produces
+        self.binding: Optional[QueueBinding] = None
+        self.destroyed = False
+
+    def __repr__(self) -> str:
+        direction = "host->nic" if self.host_produces else "nic->host"
+        return (f"<Queue {self.queue_id} {self.name!r} "
+                f"{self.queue_type.value} {direction}>")
+
+
+class QueueManager:
+    """SmartNIC-side queue registry implementing Table 1's queue calls.
+
+    Queues are always backed by SmartNIC DRAM for MMIO (only the NIC
+    exposes its memory across PCIe, section 5.3) and by a
+    producer-local staging buffer for DMA.
+    """
+
+    def __init__(self, machine: Machine,
+                 host_msg_pte: PteType = PteType.WC,
+                 host_read_pte: PteType = PteType.WT,
+                 nic_pte: PteType = PteType.WB):
+        self.machine = machine
+        self.env = machine.env
+        self.host_msg_pte = host_msg_pte
+        self.host_read_pte = host_read_pte
+        self.nic_pte = nic_pte
+        self._queues: Dict[int, QueueHandle] = {}
+
+    # -- CREATE_QUEUE() ------------------------------------------------------
+
+    def create_queue(self, name: str, queue_type: QueueType,
+                     host_produces: bool, entry_words: int = 4,
+                     capacity: int = 1024) -> QueueHandle:
+        """Allocate a queue of ``queue_type``.
+
+        ``host_produces`` selects the direction: True for host->agent
+        message queues, False for agent->host decision queues.
+        """
+        link = self.machine.interconnect
+        if queue_type is QueueType.MMIO:
+            if host_produces:
+                producer = link.host_path(self.host_msg_pte)
+                consumer = link.nic_path(self.nic_pte)
+                coherent = True
+            else:
+                producer = link.nic_path(self.nic_pte)
+                consumer = link.host_path(self.host_read_pte)
+                coherent = self.machine.params.coherent \
+                    or not self.host_read_pte.caches_reads
+            ring: Union[FloemRing, DmaQueue] = FloemRing(
+                self.env, name, producer, consumer,
+                entry_words=entry_words, capacity=capacity,
+                coherent=coherent)
+        else:
+            if host_produces:
+                producer = link.host_local_path()
+                consumer = link.nic_path(self.nic_pte)
+            else:
+                producer = link.nic_path(self.nic_pte)
+                consumer = link.host_local_path()
+            ring = DmaQueue(self.env, name, self.machine.nic.dma,
+                            producer, consumer, entry_words=entry_words,
+                            sync=queue_type is QueueType.DMA_SYNC)
+        handle = QueueHandle(name, queue_type, ring, host_produces)
+        self._queues[handle.queue_id] = handle
+        return handle
+
+    # -- DESTROY_QUEUE() ------------------------------------------------------
+
+    def destroy_queue(self, handle: QueueHandle) -> None:
+        """Release a queue. Destroying twice is an error (catches
+        use-after-free bugs in agent teardown paths)."""
+        if handle.destroyed:
+            raise ValueError(f"{handle!r} already destroyed")
+        handle.destroyed = True
+        self._queues.pop(handle.queue_id, None)
+
+    # -- ASSOC_QUEUE_WITH() -----------------------------------------------------
+
+    def assoc_queue_with(self, handle: QueueHandle, agent_name: str,
+                         host_core: int) -> None:
+        """Bind a queue to an (agent, host core) pair."""
+        self._check_live(handle)
+        handle.binding = QueueBinding(agent_name, host_core)
+
+    # -- SET_QUEUE_TYPE() ----------------------------------------------------------
+
+    def set_queue_type(self, handle: QueueHandle,
+                       queue_type: QueueType) -> QueueHandle:
+        """Re-provision a queue with a different transport.
+
+        The queue must be drained: switching transports mid-stream
+        would reorder entries. Returns the replacement handle (the old
+        one is destroyed), preserving the binding.
+        """
+        self._check_live(handle)
+        if len(handle.ring) != 0:
+            raise ValueError(
+                f"{handle!r} has {len(handle.ring)} undelivered entries; "
+                f"drain before SET_QUEUE_TYPE")
+        if queue_type is handle.queue_type:
+            return handle
+        replacement = self.create_queue(
+            handle.name, queue_type, handle.host_produces,
+            entry_words=handle.ring.entry_words)
+        replacement.binding = handle.binding
+        self.destroy_queue(handle)
+        return replacement
+
+    # -- introspection ---------------------------------------------------------------
+
+    def queues_for_agent(self, agent_name: str):
+        return [q for q in self._queues.values()
+                if q.binding and q.binding.agent_name == agent_name]
+
+    def queues_for_core(self, host_core: int):
+        return [q for q in self._queues.values()
+                if q.binding and q.binding.host_core == host_core]
+
+    def __len__(self) -> int:
+        return len(self._queues)
+
+    @staticmethod
+    def _check_live(handle: QueueHandle) -> None:
+        if handle.destroyed:
+            raise ValueError(f"{handle!r} was destroyed")

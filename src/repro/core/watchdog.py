@@ -1,0 +1,66 @@
+"""On-host agent watchdogs (paper section 3.3).
+
+Each system software component has an on-host watchdog that kills its
+agent when it detects malfunction -- e.g. the thread scheduler watchdog
+terminates an agent that has not made a decision for more than 20 ms.
+Recovery then falls back to vanilla on-host system software (section 6:
+the host kernel is the source of truth for non-policy state).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.agent import WaveAgent
+from repro.sim import Environment, Process
+
+#: The paper's thread-scheduler threshold.
+DEFAULT_TIMEOUT_NS = 20_000_000.0
+
+
+class Watchdog:
+    """Kills an agent that stops making decisions."""
+
+    def __init__(self, agent: WaveAgent, timeout_ns: float = DEFAULT_TIMEOUT_NS,
+                 check_period_ns: float = None,
+                 on_kill: Optional[Callable[[WaveAgent], None]] = None):
+        if timeout_ns <= 0:
+            raise ValueError("timeout must be positive")
+        self.agent = agent
+        self.env: Environment = agent.env
+        self.timeout_ns = timeout_ns
+        self.check_period_ns = check_period_ns or timeout_ns / 4
+        self.on_kill = on_kill
+        self.fired = False
+        self._proc: Optional[Process] = None
+
+    def start(self) -> Process:
+        self._proc = self.env.process(self._run(), name=f"wd-{self.agent.name}")
+        return self._proc
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("watchdog stopped")
+
+    def _run(self):
+        from repro.sim import Interrupt
+        try:
+            while True:
+                yield self.env.timeout(self.check_period_ns)
+                if not self.agent.running:
+                    # The agent died on its own (crash / external kill):
+                    # that is a malfunction too -- trigger recovery.
+                    self.fired = True
+                    if self.on_kill is not None:
+                        self.on_kill(self.agent)
+                    return
+                silent_for = self.env.now - self.agent.last_decision_at
+                if silent_for > self.timeout_ns:
+                    self.fired = True
+                    self.agent.kill(cause=f"watchdog: no decision for "
+                                          f"{silent_for:.0f} ns")
+                    if self.on_kill is not None:
+                        self.on_kill(self.agent)
+                    return
+        except Interrupt:
+            return

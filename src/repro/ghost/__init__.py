@@ -1,0 +1,38 @@
+"""ghOSt-style kernel thread scheduling substrate (paper section 4.1).
+
+ghOSt is a Linux scheduling class that delegates policy to userspace
+*agents*: the kernel emits thread-state messages, agents answer with
+decision transactions, and the kernel enforces committed decisions.
+Wave moves the agents to the SmartNIC and keeps this kernel class on the
+host; the communication patterns are identical, which is why the same
+:class:`GhostKernel` here serves both placements.
+"""
+
+from repro.ghost.costs import SchedCosts
+from repro.ghost.task import GhostTask, TaskState
+from repro.ghost.messages import (
+    TASK_NEW,
+    TASK_DEAD,
+    TASK_PREEMPT,
+    SchedDecision,
+)
+from repro.ghost.kernel import GhostKernel
+from repro.ghost.agent import GhostAgent
+from repro.ghost.enclave import Enclave, EnclaveManager
+from repro.ghost.failover import FailoverManager, recover_agent
+
+__all__ = [
+    "SchedCosts",
+    "GhostTask",
+    "TaskState",
+    "TASK_NEW",
+    "TASK_DEAD",
+    "TASK_PREEMPT",
+    "SchedDecision",
+    "GhostKernel",
+    "GhostAgent",
+    "Enclave",
+    "EnclaveManager",
+    "FailoverManager",
+    "recover_agent",
+]

@@ -1,0 +1,70 @@
+"""Host-kernel cost constants for the scheduling path.
+
+These are the pieces of Table 3's "context switch overhead on host"
+that are *not* communication (communication costs come from the hw
+layer). None are reported in isolation by the paper; all are fitted so
+the composed decision path reproduces Table 3's six rows (see the
+calibration test in tests/test_table3.py and repro/bench/table3_sched.py).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Optional
+
+
+@dataclasses.dataclass
+class SchedCosts:
+    """Fitted kernel-side costs (host-ns)."""
+
+    #: Kernel exit path when a task completes/blocks: bookkeeping before
+    #: the TASK_DEAD message is composed. [fit: Table 3 on-host rows]
+    kernel_exit: float = 700.0
+    #: Kernel schedule-path entry: picking up the scheduling class,
+    #: composing state. Overlaps the decision prefetch (section 5.4).
+    kernel_entry: float = 700.0
+    #: Architectural context switch (switch_to, state save/restore).
+    ctx_mechanics: float = 1700.0
+    #: ghOSt txn state-machine bookkeeping the host performs against the
+    #: MMIO-resident transaction when the agent is offloaded (status
+    #: word updates, queue head sync). Zero for on-host agents, whose
+    #: txn words live in coherent DRAM. [fit: Table 3 Wave rows]
+    wave_txn_bookkeeping: float = 100.0
+    #: Policy compute per message for a trivial (FIFO) policy, in
+    #: host-equivalent ns; scaled by the ARM handicap on the NIC.
+    policy_ns: float = 100.0
+    #: Extra host-side cost of an offloaded preemption: the interrupted
+    #: kernel synchronously reads and updates the txn state words of the
+    #: preempted thread across PCIe, and none of it can be prefetched
+    #: (section 7.2.3: "prefetching in Wave is ineffective when a
+    #: preemption occurs"). Zero on host. [fit: Fig 4b's Wave-15 -7.6%]
+    wave_preempt_extra: float = 2_000.0
+    #: A parked core sits in halt/mwait; leaving that state when the
+    #: wakeup interrupt lands costs C-state exit latency. [fit: Table 3
+    #: non-prestaged rows, on-host and offloaded alike]
+    idle_wake_latency: float = 700.0
+    #: Waiting host cores re-check their slot at this period (idle
+    #: cores poll/halt with periodic checks; also the safety net that
+    #: makes the prestage protocol deadlock-free).
+    idle_recheck: float = 5_000.0
+    #: Measurement jitter applied multiplicatively to kernel costs,
+    #: reproducing the run-to-run spread behind Table 3's ranges.
+    jitter_frac: float = 0.05
+
+    def jittered(self, rng: Optional[random.Random]):
+        """A per-run copy with kernel costs perturbed by +-jitter_frac."""
+        if rng is None:
+            return self
+
+        def j(value: float) -> float:
+            return value * (1.0 + rng.uniform(-self.jitter_frac,
+                                              self.jitter_frac))
+
+        return dataclasses.replace(
+            self,
+            kernel_exit=j(self.kernel_exit),
+            kernel_entry=j(self.kernel_entry),
+            ctx_mechanics=j(self.ctx_mechanics),
+            wave_txn_bookkeeping=j(self.wave_txn_bookkeeping),
+        )

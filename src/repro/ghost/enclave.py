@@ -1,0 +1,120 @@
+"""ghOSt enclaves: partitioning host resources among agents (section 6).
+
+"Developers should partition host resources into logical units, each
+with their own agent and policy, following the proven approach of ghOSt
+enclaves. The scheduling agent in 7.2 operates per CCX."
+
+An :class:`Enclave` owns a disjoint set of host cores with its own
+channel, kernel instance, and agent; :class:`EnclaveManager` builds a
+per-CCX partitioning and fans work out across enclaves.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.core.channel import Placement, WaveChannel
+from repro.core.opts import WaveOpts
+from repro.ghost.agent import GhostAgent
+from repro.ghost.kernel import GhostKernel
+from repro.ghost.task import GhostTask
+from repro.hw.platform import Machine
+from repro.sim import LatencyStats
+
+
+class Enclave:
+    """One resource partition: cores + channel + kernel + agent."""
+
+    def __init__(self, machine: Machine, name: str, core_ids: List[int],
+                 policy_factory: Callable, placement: Placement,
+                 opts: Optional[WaveOpts] = None,
+                 seed: Optional[int] = None):
+        if not core_ids:
+            raise ValueError("an enclave needs at least one core")
+        self.name = name
+        self.core_ids = list(core_ids)
+        self.channel = WaveChannel(machine, placement,
+                                   opts or WaveOpts.full(), name=name)
+        rng = random.Random(seed) if seed is not None else None
+        self.kernel = GhostKernel(self.channel, self.core_ids, rng=rng)
+        self.agent = GhostAgent(self.channel, policy_factory(),
+                                self.core_ids, name=f"{name}-agent")
+
+    def start(self) -> None:
+        self.agent.start()
+        self.kernel.start()
+
+    def submit(self, task: GhostTask):
+        yield from self.kernel.submit(task)
+
+    @property
+    def completed(self) -> int:
+        return self.kernel.completed
+
+    @property
+    def latency(self) -> LatencyStats:
+        return self.kernel.latency
+
+
+class EnclaveManager:
+    """Builds and load-balances a set of enclaves.
+
+    ``per_ccx`` carves one enclave per CCX (8 cores on the Zen3
+    testbed), each with an independent agent -- the partitioning the
+    paper recommends for scalability. Submission uses round-robin
+    across enclaves (a workload-aware placer can override
+    :meth:`pick_enclave`).
+    """
+
+    def __init__(self, machine: Machine, enclaves: List[Enclave]):
+        if not enclaves:
+            raise ValueError("need at least one enclave")
+        owned = [c for e in enclaves for c in e.core_ids]
+        if len(set(owned)) != len(owned):
+            raise ValueError("enclaves must own disjoint cores")
+        self.machine = machine
+        self.enclaves = enclaves
+        self._rr = itertools.cycle(range(len(enclaves)))
+
+    @classmethod
+    def per_ccx(cls, machine: Machine, n_enclaves: int,
+                policy_factory: Callable,
+                placement: Placement = Placement.NIC,
+                opts: Optional[WaveOpts] = None,
+                seed: int = 0) -> "EnclaveManager":
+        """One enclave per CCX, using the first ``n_enclaves`` CCXs of
+        socket 0."""
+        socket = machine.host.sockets[0]
+        if n_enclaves > len(socket.ccxs):
+            raise ValueError(f"socket has only {len(socket.ccxs)} CCXs")
+        enclaves = []
+        for i in range(n_enclaves):
+            cores = [core.id for core in socket.ccxs[i].cores]
+            enclaves.append(Enclave(machine, f"enclave-ccx{i}", cores,
+                                    policy_factory, placement, opts,
+                                    seed=seed + i))
+        return cls(machine, enclaves)
+
+    def start(self) -> None:
+        for enclave in self.enclaves:
+            enclave.start()
+
+    def pick_enclave(self, task: GhostTask) -> Enclave:
+        """Placement policy: round-robin by default."""
+        return self.enclaves[next(self._rr)]
+
+    def submit(self, task: GhostTask):
+        yield from self.pick_enclave(task).submit(task)
+
+    @property
+    def completed(self) -> int:
+        return sum(e.completed for e in self.enclaves)
+
+    def merged_latency(self) -> LatencyStats:
+        merged = LatencyStats("all-enclaves")
+        for enclave in self.enclaves:
+            for sample in enclave.latency._samples:
+                merged.record(sample)
+        return merged

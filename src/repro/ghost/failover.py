@@ -1,0 +1,88 @@
+"""Agent crash recovery (paper section 6, "Keep Fault Recovery Simple").
+
+An agent may crash or be killed (watchdog, upgrade). Because the host
+kernel remains the source of truth for non-policy state, recovery is
+pull-based: a replacement agent -- restarted on the SmartNIC, or the
+vanilla on-host fallback -- drops its predecessor's staged decisions,
+pulls the runnable-task snapshot from the kernel, and continues. No
+checkpointing, no state reconciliation.
+
+While the agent is down, parked host cores keep re-checking their slots
+(the idle re-check that also backstops the prestage protocol), so the
+system stalls for at most the failover delay plus one re-check period.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.channel import Placement, WaveChannel
+from repro.core.watchdog import Watchdog
+from repro.ghost.agent import GhostAgent, _CoreState
+from repro.ghost.kernel import GhostKernel
+
+#: Launch + state-pull time for a replacement agent. [modeled: process
+#: spawn, queue mapping, one pass over kernel task state]
+DEFAULT_FAILOVER_DELAY_NS = 2_000_000.0
+
+
+def recover_agent(agent: GhostAgent, kernel: GhostKernel) -> int:
+    """Initialize a fresh agent from kernel state.
+
+    Drops any decisions the dead predecessor left staged (their tasks
+    are still RUNNABLE in the kernel and reappear in the snapshot), and
+    enqueues the snapshot. Returns the number of recovered tasks.
+    """
+    if agent.running:
+        raise RuntimeError("recover before start(): the agent must not "
+                           "be polling while its run queue is rebuilt")
+    for core in agent.core_ids:
+        agent.channel.slot(core).clear_agent()
+        agent._state[core] = _CoreState.WAITING
+    snapshot = kernel.runnable_snapshot()
+    for task in snapshot:
+        agent.policy.enqueue(task)
+    return len(snapshot)
+
+
+class FailoverManager:
+    """Watches an agent and replaces it when the watchdog fires.
+
+    ``make_agent`` builds the replacement (same channel or a fallback
+    on-host channel); by default the replacement is watched too, so
+    repeated failures keep failing over.
+    """
+
+    def __init__(self, kernel: GhostKernel, agent: GhostAgent,
+                 make_agent: Callable[[], GhostAgent],
+                 watchdog_timeout_ns: float = 20_000_000.0,
+                 failover_delay_ns: float = DEFAULT_FAILOVER_DELAY_NS,
+                 rewatch: bool = True):
+        self.kernel = kernel
+        self.env = kernel.env
+        self.make_agent = make_agent
+        self.failover_delay_ns = failover_delay_ns
+        self.watchdog_timeout_ns = watchdog_timeout_ns
+        self.rewatch = rewatch
+        self.failovers = 0
+        self.recovered_tasks = 0
+        self.current = agent
+        self._watch(agent)
+
+    def _watch(self, agent: GhostAgent) -> None:
+        self.watchdog = Watchdog(agent, timeout_ns=self.watchdog_timeout_ns,
+                                 on_kill=self._on_kill)
+        self.watchdog.start()
+
+    def _on_kill(self, dead_agent: GhostAgent) -> None:
+        self.env.process(self._failover(), name="failover")
+
+    def _failover(self):
+        yield self.env.timeout(self.failover_delay_ns)
+        replacement = self.make_agent()
+        self.recovered_tasks += recover_agent(replacement, self.kernel)
+        replacement.start()
+        self.failovers += 1
+        self.current = replacement
+        if self.rewatch:
+            self._watch(replacement)

@@ -1,0 +1,30 @@
+"""ghOSt message kinds and decision payloads."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.ghost.task import GhostTask
+
+#: A new task entered the scheduling class (thread woke / request arrived).
+TASK_NEW = "ghost.task_new"
+#: A task finished (or blocked) on a core; the core is going idle unless
+#: a prestaged decision is waiting. Payload: (task, core_id).
+TASK_DEAD = "ghost.task_dead"
+#: The kernel preempted a task in response to an agent decision.
+#: Payload: (task, core_id, remaining_ns) -- the agent re-enqueues it.
+TASK_PREEMPT = "ghost.task_preempt"
+
+
+@dataclasses.dataclass
+class SchedDecision:
+    """Transaction payload: run ``task`` on the target core.
+
+    ``preempt`` asks the kernel to interrupt whatever is running there
+    (Shinjuku time-slice enforcement); a non-preempt decision is only
+    consumed by an idle core.
+    """
+
+    task: GhostTask
+    preempt: bool = False

@@ -1,0 +1,50 @@
+"""ghOSt tasks: the schedulable entities."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+from typing import Any, Optional
+
+_tids = itertools.count(1)
+
+
+class TaskState(enum.Enum):
+    RUNNABLE = "runnable"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DEAD = "dead"
+
+
+@dataclasses.dataclass
+class GhostTask:
+    """One schedulable task (a request handler in the RocksDB setup)."""
+
+    service_ns: float
+    created_at: float = 0.0
+    payload: Any = None           #: e.g. the Request being served
+    state: TaskState = TaskState.RUNNABLE
+    remaining_ns: float = dataclasses.field(default=None)
+    first_run_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    preemptions: int = 0
+    tid: int = dataclasses.field(default_factory=lambda: next(_tids))
+
+    def __post_init__(self):
+        if self.remaining_ns is None:
+            self.remaining_ns = self.service_ns
+
+    @property
+    def done(self) -> bool:
+        return self.state is TaskState.DEAD
+
+    @property
+    def latency_ns(self) -> Optional[float]:
+        """Creation-to-completion latency, once complete."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.created_at
+
+    def __repr__(self) -> str:
+        return f"<Task {self.tid} {self.state.value} rem={self.remaining_ns:.0f}>"

@@ -1,0 +1,46 @@
+"""Hardware models: host CPU, SmartNIC SoC, and the PCIe/UPI interconnect.
+
+Every latency constant in :mod:`repro.hw.params` is either taken directly
+from the paper's Table 2 or fitted to a paper-reported number (the fit is
+documented next to the constant).
+"""
+
+from repro.hw.params import HwParams, CACHE_LINE_BYTES, WORD_BYTES
+from repro.hw.pte import PteType
+from repro.hw.cache import WriteCombiningBuffer, HostMmioCache
+from repro.hw.pcie import Interconnect
+from repro.hw.dma import DmaEngine
+from repro.hw.paths import (
+    MemPath,
+    LocalWbPath,
+    LocalUcPath,
+    HostMmioPath,
+    HostSharedMemPath,
+)
+from repro.hw.cpu import Core, Ccx, Socket, HostCpu
+from repro.hw.turbo import TurboGovernor
+from repro.hw.nic import SmartNic
+from repro.hw.platform import Machine
+
+__all__ = [
+    "HwParams",
+    "CACHE_LINE_BYTES",
+    "WORD_BYTES",
+    "PteType",
+    "WriteCombiningBuffer",
+    "HostMmioCache",
+    "Interconnect",
+    "DmaEngine",
+    "MemPath",
+    "LocalWbPath",
+    "LocalUcPath",
+    "HostMmioPath",
+    "HostSharedMemPath",
+    "Core",
+    "Ccx",
+    "Socket",
+    "HostCpu",
+    "TurboGovernor",
+    "SmartNic",
+    "Machine",
+]

@@ -1,0 +1,113 @@
+"""Host-CPU cache behaviour over the MMIO aperture.
+
+Two stateful mechanisms from paper section 5.3:
+
+- :class:`WriteCombiningBuffer` -- WC stores coalesce into a buffer that
+  drains as one posted burst (flushed explicitly with ``sfence``).
+- :class:`HostMmioCache` -- WT reads fill whole cache lines, making
+  subsequent reads of the same line cheap; software coherence is
+  maintained with ``clflush``; ``prefetch`` starts a line fill early so a
+  later read hits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.hw.params import HwParams, CACHE_LINE_BYTES
+
+
+def line_of(addr: int) -> int:
+    """Cache-line index containing byte address ``addr``."""
+    return addr // CACHE_LINE_BYTES
+
+
+class WriteCombiningBuffer:
+    """Models the x86 write-combining buffer for a WC-mapped aperture.
+
+    Stores are cheap (they hit the buffer); the data only becomes visible
+    to the device after a :meth:`flush` (sfence), which costs one posted
+    burst regardless of how many words were combined. This is what lets
+    the host "enqueue a message batch before the buffer is flushed"
+    (section 5.3.1).
+    """
+
+    def __init__(self, params: HwParams):
+        self.params = params
+        self.pending_words = 0
+        self.flushes = 0
+
+    def write(self, words: int = 1) -> float:
+        """Buffer ``words`` stores; returns CPU cost in ns."""
+        if words < 0:
+            raise ValueError("words must be non-negative")
+        self.pending_words += words
+        return words * self.params.wc_buffered_write
+
+    def flush(self) -> float:
+        """Drain the buffer (sfence). Returns CPU cost in ns.
+
+        Flushing an empty buffer is free: sfence with nothing pending
+        retires immediately.
+        """
+        if self.pending_words == 0:
+            return 0.0
+        self.pending_words = 0
+        self.flushes += 1
+        return self.params.wc_flush
+
+
+class HostMmioCache:
+    """Cache-line presence tracking for WT-mapped MMIO reads.
+
+    ``read`` returns the CPU cost of a 64-bit load at ``addr`` and pulls
+    the whole line in on a miss. ``prefetch`` issues a non-blocking fill;
+    a read arriving before the fill completes pays only the remaining
+    wait. ``clflush`` implements the software coherence protocol of
+    section 5.3.2 (the host flushes stale decision lines).
+    """
+
+    def __init__(self, params: HwParams):
+        self.params = params
+        self._resident: Set[int] = set()
+        self._inflight: Dict[int, float] = {}  # line -> arrival time
+        self.hits = 0
+        self.misses = 0
+
+    def read(self, addr: int, now: float) -> float:
+        """Cost of a 64-bit cached (WT) load at ``addr`` at time ``now``."""
+        line = line_of(addr)
+        if line in self._resident:
+            self.hits += 1
+            return self.params.cache_hit
+        arrival = self._inflight.pop(line, None)
+        if arrival is not None:
+            # Prefetch in flight: wait out the remainder, then hit.
+            self._resident.add(line)
+            if arrival <= now:
+                self.hits += 1
+                return self.params.cache_hit
+            self.misses += 1
+            return (arrival - now) + self.params.cache_hit
+        self.misses += 1
+        self._resident.add(line)
+        return self.params.mmio_read_uc
+
+    def prefetch(self, addr: int, now: float) -> float:
+        """Start a non-blocking line fill; returns (tiny) issue cost."""
+        line = line_of(addr)
+        if line in self._resident or line in self._inflight:
+            return self.params.prefetch_issue
+        self._inflight[line] = now + self.params.mmio_read_uc
+        return self.params.prefetch_issue
+
+    def clflush(self, addr: int) -> float:
+        """Evict the line containing ``addr``; returns CPU cost."""
+        line = line_of(addr)
+        self._resident.discard(line)
+        self._inflight.pop(line, None)
+        return self.params.clflush
+
+    def is_resident(self, addr: int) -> bool:
+        """Whether a load at ``addr`` would hit right now."""
+        return line_of(addr) in self._resident

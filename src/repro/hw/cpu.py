@@ -1,0 +1,159 @@
+"""Host CPU topology: sockets, CCXs, cores, SMT threads, C-states.
+
+Mirrors the paper's testbed: AMD Zen3, 2 sockets x 64 physical cores x
+2 hyperthreads, 8-core CCXs with a private L3 (section 7). The awake /
+deep-sleep accounting feeds the per-socket :class:`TurboGovernor`
+(section 7.2.4): a core that stays idle long enough enters a deep
+C-state and stops counting against the socket's turbo budget.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.hw.params import HwParams
+from repro.hw.turbo import TurboGovernor
+from repro.sim import Environment, TimeWeightedValue
+
+
+class Core:
+    """One physical core with ``threads_per_core`` SMT threads."""
+
+    def __init__(self, env: Environment, core_id: int, socket: "Socket",
+                 ccx_id: int, params: HwParams):
+        self.env = env
+        self.id = core_id
+        self.socket = socket
+        self.ccx_id = ccx_id
+        self.params = params
+        self.busy_threads = 0
+        self.deep_sleep = False
+        self._idle_since: Optional[float] = 0.0
+        self._wake_epoch = 0  # invalidates stale deep-sleep checks
+        #: CPU time consumed by timer ticks on this core (both threads).
+        self.tick_time = 0.0
+        self._arm_deep_sleep_check()  # cores start idle
+
+    @property
+    def awake(self) -> bool:
+        """Out of deep sleep (counted by the turbo governor)."""
+        return not self.deep_sleep
+
+    @property
+    def smt_factor(self) -> float:
+        """Per-thread throughput factor given current SMT contention."""
+        if self.busy_threads >= 2:
+            return self.params.smt_efficiency
+        return 1.0
+
+    def thread_started(self) -> None:
+        """A thread began running on this core."""
+        self.busy_threads += 1
+        self._idle_since = None
+        self.poke()
+
+    def thread_stopped(self) -> None:
+        """A thread stopped running on this core."""
+        if self.busy_threads <= 0:
+            raise RuntimeError(f"core {self.id}: thread_stopped underflow")
+        self.busy_threads -= 1
+        if self.busy_threads == 0:
+            self._idle_since = self.env.now
+            self._arm_deep_sleep_check()
+
+    def poke(self) -> None:
+        """Any activity (run, tick, interrupt): leave/defer deep sleep."""
+        self._wake_epoch += 1
+        if self.deep_sleep:
+            self.deep_sleep = False
+            self.socket.core_woke(self)
+        if self.busy_threads == 0:
+            self._idle_since = self.env.now
+            self._arm_deep_sleep_check()
+
+    def _arm_deep_sleep_check(self) -> None:
+        epoch = self._wake_epoch
+
+        def check():
+            yield self.env.timeout(self.params.deep_sleep_entry)
+            if (self._wake_epoch == epoch and self.busy_threads == 0
+                    and not self.deep_sleep):
+                self.deep_sleep = True
+                self.socket.core_slept(self)
+
+        self.env.process(check(), name=f"c{self.id}-csleep")
+
+
+class Ccx:
+    """A core complex: 8 physical cores sharing a private L3."""
+
+    def __init__(self, ccx_id: int, cores: List[Core]):
+        self.id = ccx_id
+        self.cores = cores
+
+
+class Socket:
+    """One CPU socket; turbo is governed per socket (section 7.2.4)."""
+
+    def __init__(self, env: Environment, socket_id: int, params: HwParams,
+                 governor: Optional[TurboGovernor] = None):
+        self.env = env
+        self.id = socket_id
+        self.params = params
+        self.governor = governor or TurboGovernor(params)
+        self.cores: List[Core] = []
+        self.ccxs: List[Ccx] = []
+        base = socket_id * params.cores_per_socket
+        for i in range(params.cores_per_socket):
+            ccx_id = i // params.cores_per_ccx
+            self.cores.append(Core(env, base + i, self, ccx_id, params))
+        for ccx_id in range(params.cores_per_socket // params.cores_per_ccx):
+            lo = ccx_id * params.cores_per_ccx
+            self.ccxs.append(Ccx(ccx_id, self.cores[lo:lo + params.cores_per_ccx]))
+        self._awake = len(self.cores)
+        #: Tracks the boosted frequency over time; a thread busy for an
+        #: interval accrues work = (integral of frequency) * smt_factor.
+        self.freq = TimeWeightedValue(env, self.governor.frequency(self._awake))
+
+    @property
+    def awake_cores(self) -> int:
+        return self._awake
+
+    def core_slept(self, core: Core) -> None:
+        self._awake -= 1
+        self.freq.set(self.governor.frequency(self._awake))
+
+    def core_woke(self, core: Core) -> None:
+        self._awake += 1
+        self.freq.set(self.governor.frequency(self._awake))
+
+    def current_ghz(self) -> float:
+        return self.freq.value
+
+
+class HostCpu:
+    """The whole host package: all sockets, flat core list."""
+
+    def __init__(self, env: Environment, params: HwParams):
+        self.env = env
+        self.params = params
+        self.sockets = [Socket(env, s, params)
+                        for s in range(params.host_sockets)]
+        self.cores: List[Core] = [c for s in self.sockets for c in s.cores]
+
+    def start_ticks(self, socket: Socket) -> None:
+        """Deliver 1 ms timer ticks to every core in ``socket``.
+
+        Each tick consumes ``tick_cost`` CPU time on the core and, on an
+        idle core, keeps it out of deep sleep -- the interference the
+        Wave VM policy eliminates (section 7.2.4).
+        """
+        for core in socket.cores:
+            self.env.process(self._tick_loop(core), name=f"tick-c{core.id}")
+
+    def _tick_loop(self, core: Core):
+        period = self.params.tick_period
+        while True:
+            yield self.env.timeout(period)
+            core.poke()
+            core.tick_time += self.params.tick_cost

@@ -1,0 +1,55 @@
+"""The SmartNIC SoC: ARM cores, local DRAM, DMA engine, MSI-X function.
+
+Models the Intel Mount Evans IPU of section 7: 16 Neoverse N1 cores at
+3 GHz with fast coherent access to SoC DRAM; the host reaches that DRAM
+only through the MMIO aperture, and the SoC reaches host DRAM only
+through DMA.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.hw.dma import DmaEngine
+from repro.hw.params import HwParams
+from repro.hw.pcie import Interconnect
+from repro.sim import Environment, Event
+
+
+class SmartNic:
+    """One SmartNIC with its interconnect-facing functions."""
+
+    def __init__(self, env: Environment, params: HwParams,
+                 interconnect: Interconnect):
+        self.env = env
+        self.params = params
+        self.interconnect = interconnect
+        self.dma = DmaEngine(env, params)
+        self.cores = params.nic_cores
+        self.ghz = params.nic_ghz
+        self.msix_sent = 0
+
+    def compute_time(self, host_equivalent_ns: float) -> float:
+        """Time for NIC ARM cores to do work that takes
+        ``host_equivalent_ns`` on a host x86 core.
+
+        Combines the frequency gap and the per-cycle throughput handicap
+        (section 7.4.2: offloaded SOL is slower "because it uses weaker
+        ARM cores rather than x86 host cores").
+        """
+        if self.ghz <= 0:
+            raise ValueError("NIC frequency must be positive")
+        freq_ratio = self.params.nic_reference_ghz / self.ghz
+        return host_equivalent_ns * self.params.nic_compute_handicap * freq_ratio
+
+    def raise_msix(self, via_ioctl: bool = True) -> Tuple[float, Event]:
+        """Send an MSI-X to a host core.
+
+        Returns ``(sender_cost, delivery)``: the agent burns
+        ``sender_cost`` ns of CPU; ``delivery`` fires when the host
+        core's handler can start (the host then pays ``msix_receive``).
+        """
+        self.msix_sent += 1
+        send = self.interconnect.msix_send(via_ioctl)
+        delivery = self.env.timeout(send + self.interconnect.msix_propagation())
+        return send, delivery

@@ -1,0 +1,152 @@
+"""Memory-access paths: how an actor reaches a shared buffer.
+
+The Floem-style rings in :mod:`repro.queues` are placement-agnostic; what
+differs between deployments is the *path* each side uses to touch the
+ring's backing memory. A :class:`MemPath` turns word-granularity accesses
+into CPU-time costs, so a single ring implementation serves all of:
+
+- SmartNIC agent <-> its own DRAM (local WB or device-UC mapping),
+- host <-> SmartNIC DRAM over PCIe MMIO (UC / WC / WT PTEs),
+- host <-> host shared memory (the on-host ghOSt baseline).
+"""
+
+from __future__ import annotations
+
+from repro.hw.cache import HostMmioCache, WriteCombiningBuffer, CACHE_LINE_BYTES
+from repro.hw.params import HwParams, WORD_BYTES
+from repro.hw.pte import PteType
+
+
+class MemPath:
+    """Cost model for word-granularity access to one shared buffer."""
+
+    def read_words(self, addr: int, n: int, now: float) -> float:
+        """CPU cost of loading ``n`` 64-bit words starting at ``addr``."""
+        raise NotImplementedError
+
+    def write_words(self, addr: int, n: int) -> float:
+        """CPU cost of storing ``n`` 64-bit words starting at ``addr``."""
+        raise NotImplementedError
+
+    def flush_writes(self) -> float:
+        """Make buffered writes visible to the other side (sfence)."""
+        return 0.0
+
+    def visibility_delay(self) -> float:
+        """Time after the store retires before the consumer can see it."""
+        return 0.0
+
+    def invalidate(self, addr: int, n: int) -> float:
+        """Software coherence: drop any cached copy of ``n`` words."""
+        return 0.0
+
+    def prefetch(self, addr: int, n: int, now: float) -> float:
+        """Begin a non-blocking fill of ``n`` words; tiny issue cost."""
+        return 0.0
+
+
+class LocalWbPath(MemPath):
+    """Coherent cached access to local DRAM (NIC agent with WB PTEs,
+    or any host access to host DRAM)."""
+
+    def __init__(self, params: HwParams, cost_per_word: float):
+        self.params = params
+        self.cost_per_word = cost_per_word
+
+    def read_words(self, addr: int, n: int, now: float) -> float:
+        return n * self.cost_per_word
+
+    def write_words(self, addr: int, n: int) -> float:
+        return n * self.cost_per_word
+
+
+class LocalUcPath(MemPath):
+    """Device/uncacheable mapping of local DRAM -- the unoptimized
+    default for the SmartNIC's exported aperture (Table 3 baseline)."""
+
+    def __init__(self, params: HwParams):
+        self.params = params
+
+    def read_words(self, addr: int, n: int, now: float) -> float:
+        return n * self.params.nic_access_uc
+
+    def write_words(self, addr: int, n: int) -> float:
+        return n * self.params.nic_access_uc
+
+
+class HostSharedMemPath(LocalWbPath):
+    """Host coherent shared memory (on-host ghOSt communication)."""
+
+    def __init__(self, params: HwParams):
+        super().__init__(params, params.host_shm_access)
+
+
+class HostMmioPath(MemPath):
+    """Host access to SmartNIC DRAM over the interconnect, with the cost
+    semantics of the chosen PTE type (section 5.3.1)."""
+
+    def __init__(self, params: HwParams, pte: PteType):
+        if pte is PteType.WB and not params.coherent:
+            raise ValueError(
+                "WB host mappings of device memory require a coherent "
+                "interconnect (section 5.3.1)")
+        self.params = params
+        self.pte = pte
+        self.cache = HostMmioCache(params) if pte.caches_reads else None
+        self.wc_buffer = (
+            WriteCombiningBuffer(params) if pte is PteType.WC else None)
+
+    # -- reads ---------------------------------------------------------
+
+    def read_words(self, addr: int, n: int, now: float) -> float:
+        if self.cache is None:
+            # UC and WC: every load is a full interconnect roundtrip.
+            return n * self.params.mmio_read_uc
+        cost = 0.0
+        for i in range(n):
+            cost += self.cache.read(addr + i * WORD_BYTES, now + cost)
+        return cost
+
+    def prefetch(self, addr: int, n: int, now: float) -> float:
+        if self.cache is None:
+            return 0.0  # prefetch is meaningless without read caching
+        cost = 0.0
+        nbytes = n * WORD_BYTES
+        for offset in range(0, nbytes, CACHE_LINE_BYTES):
+            cost += self.cache.prefetch(addr + offset, now)
+        return cost
+
+    def invalidate(self, addr: int, n: int) -> float:
+        if self.cache is None:
+            return 0.0
+        cost = 0.0
+        nbytes = n * WORD_BYTES
+        for offset in range(0, nbytes, CACHE_LINE_BYTES):
+            line_cost = self.cache.clflush(addr + offset)
+            # On a coherent interconnect the hardware invalidates the
+            # stale line; the software clflush (and its cost) vanishes
+            # but the next read still refetches (section 7.3.3).
+            if not self.params.coherent:
+                cost += line_cost
+        return cost
+
+    # -- writes --------------------------------------------------------
+
+    def write_words(self, addr: int, n: int) -> float:
+        if self.wc_buffer is not None:
+            return self.wc_buffer.write(n)
+        if self.pte is PteType.WB:
+            # Coherent interconnect: stores land in the host cache.
+            return n * self.params.wc_buffered_write
+        # UC and WT: posted write-through per word.
+        per_word = (self.params.wt_write if self.pte is PteType.WT
+                    else self.params.mmio_write_uc)
+        return n * per_word
+
+    def flush_writes(self) -> float:
+        if self.wc_buffer is not None:
+            return self.wc_buffer.flush()
+        return 0.0
+
+    def visibility_delay(self) -> float:
+        return self.params.mmio_write_visibility

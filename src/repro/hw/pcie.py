@@ -1,0 +1,70 @@
+"""The host<->SmartNIC interconnect: MMIO, MSI-X, and path factories."""
+
+from __future__ import annotations
+
+from repro.hw.params import HwParams
+from repro.hw.paths import (
+    HostMmioPath,
+    HostSharedMemPath,
+    LocalUcPath,
+    LocalWbPath,
+    MemPath,
+)
+from repro.hw.pte import PteType
+
+
+class Interconnect:
+    """Timing model for one PCIe (or UPI, section 7.3.3) link.
+
+    Exposes the primitive costs of Table 2 plus factories for the
+    :class:`~repro.hw.paths.MemPath` objects each endpoint uses.
+    """
+
+    def __init__(self, params: HwParams):
+        self.params = params
+
+    # -- Table 2 primitives ---------------------------------------------
+
+    def mmio_read(self) -> float:
+        """Host 64-bit uncacheable MMIO read (row 1)."""
+        return self.params.mmio_read_uc
+
+    def mmio_write(self) -> float:
+        """Host 64-bit uncacheable MMIO write (row 2)."""
+        return self.params.mmio_write_uc
+
+    def msix_send(self, via_ioctl: bool = True) -> float:
+        """Device-side cost of raising an MSI-X (rows 3-4)."""
+        return (self.params.msix_send_ioctl if via_ioctl
+                else self.params.msix_send_reg)
+
+    def msix_receive(self) -> float:
+        """Host-side cost of taking the interrupt (row 5)."""
+        return self.params.msix_receive
+
+    def msix_e2e(self) -> float:
+        """Send-to-handler latency including the PCIe trip (row 6)."""
+        return self.params.msix_e2e
+
+    def msix_propagation(self) -> float:
+        """The wire/bridge portion of MSI-X delivery: the time between
+        the sender finishing its send overhead and the host core starting
+        its receive overhead."""
+        return (self.params.msix_e2e - self.params.msix_send_ioctl
+                - self.params.msix_receive)
+
+    # -- path factories ---------------------------------------------------
+
+    def host_path(self, pte: PteType) -> MemPath:
+        """How the host reaches SmartNIC DRAM with PTE type ``pte``."""
+        return HostMmioPath(self.params, pte)
+
+    def nic_path(self, pte: PteType) -> MemPath:
+        """How a SmartNIC agent reaches its own (SoC-local) DRAM."""
+        if pte is PteType.WB:
+            return LocalWbPath(self.params, self.params.nic_access_wb)
+        return LocalUcPath(self.params)
+
+    def host_local_path(self) -> MemPath:
+        """Host coherent shared memory (on-host deployments)."""
+        return HostSharedMemPath(self.params)

@@ -1,0 +1,40 @@
+"""Page-table-entry memory types (paper section 5.3.1).
+
+The host maps the SmartNIC's exported MMIO aperture with one of these
+types; the choice determines every read/write cost on that mapping.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class PteType(enum.Enum):
+    """x86 memory types relevant to MMIO mappings."""
+
+    #: Write-back: cached + coherent. Only legal for host-local DRAM (or
+    #: for device memory behind a coherent interconnect, section 7.3.3).
+    WB = "write-back"
+
+    #: Write-combining: reads uncached; stores land in the WC buffer and
+    #: drain as a burst (explicitly flushed with sfence).
+    WC = "write-combining"
+
+    #: Write-through: stores go straight to memory, loads are cached, so
+    #: repeated loads of one cache line are cheap (needs software
+    #: coherence via clflush, section 5.3.2).
+    WT = "write-through"
+
+    #: Uncacheable: every access is a full PCIe transaction. The
+    #: unoptimized baseline.
+    UC = "uncacheable"
+
+    @property
+    def caches_reads(self) -> bool:
+        """Whether loads from this mapping can hit the CPU cache."""
+        return self in (PteType.WB, PteType.WT)
+
+    @property
+    def buffers_writes(self) -> bool:
+        """Whether stores to this mapping coalesce before reaching PCIe."""
+        return self in (PteType.WB, PteType.WC)

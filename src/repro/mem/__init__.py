@@ -1,0 +1,32 @@
+"""Memory management substrate and the SOL ML policy (sections 4.2, 7.4).
+
+The host keeps page-fault handling, page tables, and TLB shootdowns;
+the offloaded agent receives access bits over DMA, classifies 256 KiB
+page batches with Thompson sampling (SOL), and commits tier-migration
+decisions back, which the host enforces through the madvise path.
+"""
+
+from repro.mem.addrspace import AddressSpace, PAGE_BYTES, BATCH_PAGES
+from repro.mem.tiers import TieredMemory, Tier
+from repro.mem.scanner import AccessBitScanner
+from repro.mem.thompson import BetaBandit
+from repro.mem.sol import SolPolicy, SCAN_PERIODS_NS, EPOCH_NS
+from repro.mem.clock import ClockPolicy
+from repro.mem.agent import MemoryAgent, MemAgentPlacement, Chunking
+
+__all__ = [
+    "AddressSpace",
+    "PAGE_BYTES",
+    "BATCH_PAGES",
+    "TieredMemory",
+    "Tier",
+    "AccessBitScanner",
+    "BetaBandit",
+    "SolPolicy",
+    "ClockPolicy",
+    "SCAN_PERIODS_NS",
+    "EPOCH_NS",
+    "MemoryAgent",
+    "MemAgentPlacement",
+    "Chunking",
+]

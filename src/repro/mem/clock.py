@@ -1,0 +1,75 @@
+"""A CLOCK-style baseline memory policy (section 4.2).
+
+"Policy algorithms, such as LRU, also require significant compute, so
+policy designers resort to approximations like the LRU CLOCK
+algorithm." This baseline scans *every* batch's referenced bit at a
+fixed period and gives batches a second chance before eviction -- no
+learning, no adaptive scan frequencies. Comparing it with SOL shows
+what the Thompson-sampling scan scheduler buys: an order of magnitude
+fewer scans (and TLB flushes) for the same placement quality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mem.addrspace import AddressSpace, BATCH_PAGES
+from repro.mem.scanner import AccessBitScanner
+from repro.mem.sol import CLASSIFY_BATCH_NS, EPOCH_NS, SolIteration
+
+#: CLOCK's fixed hand period: every batch, every period.
+CLOCK_PERIOD_NS = 600e6
+#: Per-batch classify cost: cheaper than SOL's sampling (bit tests
+#: only), but paid for every batch every period.
+CLOCK_CLASSIFY_NS = CLASSIFY_BATCH_NS * 0.3
+#: Fraction of pages that must be referenced for a batch to count hot.
+HOT_PAGE_FRACTION = 0.05
+
+
+class ClockPolicy:
+    """Fixed-period referenced-bit scanning with second chance.
+
+    Drop-in for :class:`~repro.mem.sol.SolPolicy` inside
+    :class:`~repro.mem.agent.MemoryAgent`.
+    """
+
+    def __init__(self, space: AddressSpace, seed: int = 0):
+        self.space = space
+        self.scanner = AccessBitScanner(space)
+        #: Second-chance bit: a hot batch must miss twice to be evicted.
+        self.chance = np.ones(space.n_batches, dtype=bool)
+        self.next_scan_ns = 0.0
+        self.last_epoch_ns = 0.0
+        self.iterations = 0
+
+    def iterate(self, now_ns: float):
+        """One CLOCK sweep (every batch) if the period elapsed."""
+        if now_ns < self.next_scan_ns:
+            return None
+        self.next_scan_ns = now_ns + CLOCK_PERIOD_NS
+        every = np.arange(self.space.n_batches)
+        accessed, scan_cost = self.scanner.scan(every, now_ns)
+        referenced = accessed >= max(1, int(BATCH_PAGES * HOT_PAGE_FRACTION))
+
+        epoch = (now_ns - self.last_epoch_ns) >= EPOCH_NS
+        to_fast = np.empty(0, dtype=np.int64)
+        to_slow = np.empty(0, dtype=np.int64)
+        if epoch:
+            self.last_epoch_ns = now_ns
+            # Second chance: evict only batches unreferenced twice.
+            evict = ~referenced & ~self.chance
+            to_slow = np.nonzero(evict)[0]
+            to_fast = np.nonzero(referenced)[0]
+        # Update the chance bits after the (possible) eviction pass.
+        self.chance = referenced.copy()
+        self.iterations += 1
+        return SolIteration(
+            when_ns=now_ns,
+            batches_scanned=len(every),
+            scan_cost_ns=scan_cost,
+            classify_ns=len(every) * CLOCK_CLASSIFY_NS,
+            epoch=epoch,
+            to_fast=to_fast,
+            to_slow=to_slow,
+            due_ids=every,
+        )

@@ -1,0 +1,130 @@
+"""Section 7.4 experiments: iteration durations and the RocksDB effect.
+
+Two results:
+
+- the apples-to-apples per-iteration duration table (Wave vs on-host,
+  1-16 agent cores), and
+- SOL's effect on RocksDB: DRAM footprint shrinking from ~102 GiB to
+  ~21.3 GiB (79%) over 3 epochs, with GET latency staying at a median
+  of ~12 us and a p99 of ~31 us.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.hw import HwParams, Machine
+from repro.mem.addrspace import AddressSpace
+from repro.mem.agent import MemAgentPlacement, MemoryAgent
+from repro.mem.sol import EPOCH_NS
+from repro.mem.tiers import TieredMemory
+from repro.sim import Environment, LatencyStats
+
+#: GET latency model under SOL (ns): the 10 us GET plus measured
+#: overheads put the median at ~12 us.
+GET_BASE_NS = 10_000.0
+GET_OVERHEAD_MEDIAN_NS = 2_000.0
+#: TLB-shootdown interference: a GET colliding with a batch scan on a
+#: neighbouring core stalls for an extra 10-30 us. [fit: section 7.4.2
+#: "tail (99%) of 31 us"]
+SCAN_COLLISION_PROB = 0.018
+SCAN_COLLISION_NS = (10_000.0, 30_000.0)
+#: A GET whose page was (mis)classified cold takes a major fault.
+SLOW_TIER_FAULT_NS = 150_000.0
+
+
+@dataclasses.dataclass
+class SolDurationRow:
+    n_cores: int
+    wave_ms: float
+    onhost_ms: float
+
+
+def run_sol_agent(placement: MemAgentPlacement, n_cores: int,
+                  total_bytes: int = None, epochs: float = 1.5,
+                  seed: int = 0):
+    """Run SOL for ``epochs`` migration epochs; returns the agent."""
+    env = Environment()
+    machine = Machine(env, HwParams.pcie())
+    space = AddressSpace(seed=seed, **(
+        {"total_bytes": total_bytes} if total_bytes else {}))
+    tiers = TieredMemory(space)
+    agent = MemoryAgent(env, machine, space, tiers, placement, n_cores,
+                        seed=seed)
+    agent.start()
+    env.run(until=epochs * EPOCH_NS)
+    return agent
+
+
+def sol_duration_table(core_counts: List[int] = (1, 2, 4, 8, 16),
+                       total_bytes: int = None,
+                       seed: int = 0) -> List[SolDurationRow]:
+    """The section 7.4.2 apples-to-apples duration table."""
+    rows = []
+    for n in core_counts:
+        wave = run_sol_agent(MemAgentPlacement.NIC, n,
+                             total_bytes=total_bytes, seed=seed)
+        onhost = run_sol_agent(MemAgentPlacement.HOST, n,
+                               total_bytes=total_bytes, seed=seed)
+        rows.append(SolDurationRow(
+            n_cores=n,
+            wave_ms=wave.steady_state_duration_ms(),
+            onhost_ms=onhost.steady_state_duration_ms(),
+        ))
+    return rows
+
+
+@dataclasses.dataclass
+class FootprintResult:
+    start_gib: float
+    end_gib: float
+    reduction_pct: float
+    hot_gib: float               #: ground-truth working set
+    hit_fast_fraction: float
+    get_p50_us: float
+    get_p99_us: float
+    epochs: int
+
+
+def run_footprint(epochs: int = 3, total_bytes: int = None,
+                  n_cores: int = 16, seed: int = 0,
+                  get_samples: int = 200_000) -> FootprintResult:
+    """SOL's effect on RocksDB (section 7.4.2): run ``epochs`` epochs
+    on the SmartNIC and report the DRAM footprint and GET latency."""
+    env = Environment()
+    machine = Machine(env, HwParams.pcie())
+    space = AddressSpace(seed=seed, **(
+        {"total_bytes": total_bytes} if total_bytes else {}))
+    tiers = TieredMemory(space)
+    agent = MemoryAgent(env, machine, space, tiers,
+                        MemAgentPlacement.NIC, n_cores, seed=seed)
+    agent.start()
+    start_gib = tiers.fast_gib
+    env.run(until=(epochs + 0.25) * EPOCH_NS)
+    end_gib = tiers.fast_gib
+
+    # GET latency model under the converged placement.
+    rng = random.Random(seed + 7)
+    hit_fast = tiers.hit_fast_fraction()
+    stats = LatencyStats("get")
+    for _ in range(get_samples):
+        latency = GET_BASE_NS + rng.expovariate(1.0 / GET_OVERHEAD_MEDIAN_NS)
+        if rng.random() < SCAN_COLLISION_PROB:
+            latency += rng.uniform(*SCAN_COLLISION_NS)
+        if rng.random() > hit_fast:
+            latency += SLOW_TIER_FAULT_NS
+        stats.record(latency)
+    return FootprintResult(
+        start_gib=start_gib,
+        end_gib=end_gib,
+        reduction_pct=100.0 * (1.0 - end_gib / start_gib),
+        hot_gib=space.hot_bytes / 1024 ** 3,
+        hit_fast_fraction=hit_fast,
+        get_p50_us=stats.p50 / 1000.0,
+        get_p99_us=stats.p99 / 1000.0,
+        epochs=epochs,
+    )

@@ -1,0 +1,55 @@
+"""Thompson sampling with Beta priors (SOL's classifier, section 4.2).
+
+Each batch keeps a Beta(alpha, beta) posterior over its per-page access
+probability. Scans update the posterior; decisions draw a sample from
+it, which naturally balances exploring rarely-scanned batches against
+exploiting well-known ones (Thompson 1933, as used by SOL).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BetaBandit:
+    """Vectorized Beta-Bernoulli posteriors, one arm per batch."""
+
+    def __init__(self, n_arms: int, prior_alpha: float = 1.0,
+                 prior_beta: float = 1.0, seed: int = 0):
+        if n_arms <= 0:
+            raise ValueError("need at least one arm")
+        if prior_alpha <= 0 or prior_beta <= 0:
+            raise ValueError("Beta prior parameters must be positive")
+        self.n_arms = n_arms
+        self.alpha = np.full(n_arms, prior_alpha, dtype=np.float64)
+        self.beta = np.full(n_arms, prior_beta, dtype=np.float64)
+        self.rng = np.random.default_rng(seed)
+        #: Exponential forgetting keeps the posterior adaptive to phase
+        #: changes (SOL is an online policy on a live machine).
+        self.decay = 0.9
+
+    def update(self, arms: np.ndarray, successes: np.ndarray,
+               trials: int) -> None:
+        """Record ``successes`` out of ``trials`` observations per arm."""
+        arms = np.asarray(arms)
+        successes = np.asarray(successes, dtype=np.float64)
+        if np.any(successes < 0) or np.any(successes > trials):
+            raise ValueError("successes out of range")
+        self.alpha[arms] = self.alpha[arms] * self.decay + successes
+        self.beta[arms] = self.beta[arms] * self.decay \
+            + (trials - successes)
+
+    def sample(self, arms: np.ndarray = None) -> np.ndarray:
+        """Draw one Thompson sample per arm (posterior access rate)."""
+        if arms is None:
+            return self.rng.beta(self.alpha, self.beta)
+        arms = np.asarray(arms)
+        return self.rng.beta(self.alpha[arms], self.beta[arms])
+
+    def mean(self, arms: np.ndarray = None) -> np.ndarray:
+        """Posterior means (useful for deterministic assertions)."""
+        if arms is None:
+            return self.alpha / (self.alpha + self.beta)
+        arms = np.asarray(arms)
+        a, b = self.alpha[arms], self.beta[arms]
+        return a / (a + b)

@@ -1,0 +1,72 @@
+"""Two-tier memory with migration via the madvise path (section 4.2).
+
+The fast tier is local DRAM; the slow tier is disk/compressed swap. The
+host enforces migration decisions through the kernel's madvise syscall
+path; batches are moved once per epoch.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.mem.addrspace import AddressSpace, BATCH_BYTES
+
+
+class Tier(enum.IntEnum):
+    FAST = 0   #: local DRAM
+    SLOW = 1   #: disk / far memory
+
+#: Kernel cost of migrating one 256 KiB batch through madvise
+#: (unmap + writeback/readback initiation), host-side.
+MADVISE_BATCH_NS = 25_000.0
+
+
+class TieredMemory:
+    """Tier placement of every batch in an address space."""
+
+    def __init__(self, space: AddressSpace):
+        self.space = space
+        #: All pages start resident in DRAM (RocksDB at startup).
+        self.tier = np.full(space.n_batches, int(Tier.FAST), dtype=np.int8)
+        self.migrations_to_slow = 0
+        self.migrations_to_fast = 0
+
+    @property
+    def fast_bytes(self) -> int:
+        """Bytes currently resident in DRAM."""
+        return int(np.count_nonzero(self.tier == int(Tier.FAST))) * BATCH_BYTES
+
+    @property
+    def fast_gib(self) -> float:
+        return self.fast_bytes / 1024 ** 3
+
+    def apply_decisions(self, to_fast: np.ndarray,
+                        to_slow: np.ndarray) -> float:
+        """Enforce one epoch's migration decisions.
+
+        Returns the host-side madvise cost in ns. Batches already in
+        the requested tier are skipped (idempotent enforcement -- the
+        clean-failure behaviour of Wave transactions).
+        """
+        to_fast = np.asarray(to_fast, dtype=np.int64)
+        to_slow = np.asarray(to_slow, dtype=np.int64)
+        moved_fast = to_fast[self.tier[to_fast] != int(Tier.FAST)] \
+            if len(to_fast) else to_fast
+        moved_slow = to_slow[self.tier[to_slow] != int(Tier.SLOW)] \
+            if len(to_slow) else to_slow
+        self.tier[moved_fast] = int(Tier.FAST)
+        self.tier[moved_slow] = int(Tier.SLOW)
+        self.migrations_to_fast += len(moved_fast)
+        self.migrations_to_slow += len(moved_slow)
+        return (len(moved_fast) + len(moved_slow)) * MADVISE_BATCH_NS
+
+    def hit_fast_fraction(self) -> float:
+        """Access-weighted fraction of traffic served from DRAM."""
+        rates = self.space.rates
+        total = rates.sum()
+        if total <= 0:
+            return 1.0
+        fast = rates[self.tier == int(Tier.FAST)].sum()
+        return float(fast / total)

@@ -1,0 +1,14 @@
+"""Floem-style shared-memory queues over PCIe (paper section 5.3).
+
+Wave re-uses the Floem DMA unidirectional queue and adds MMIO support.
+The ring logic (:class:`FloemRing`) is placement-agnostic: each side
+accesses the backing memory through a :class:`~repro.hw.paths.MemPath`,
+so the same ring serves host->NIC MMIO queues, NIC->host decision
+queues, DMA queues, and plain on-host shared memory.
+"""
+
+from repro.queues.config import QueueType
+from repro.queues.ring import FloemRing
+from repro.queues.dma import DmaQueue
+
+__all__ = ["QueueType", "FloemRing", "DmaQueue"]

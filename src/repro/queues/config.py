@@ -1,0 +1,24 @@
+"""Queue transport configuration (``SET_QUEUE_TYPE`` in Table 1)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class QueueType(enum.Enum):
+    """The three transports ``SET_QUEUE_TYPE()`` can select."""
+
+    #: MMIO-backed: lowest latency, bounded throughput. Used by the
+    #: thread scheduler and the RPC stack (sections 4.1, 4.3).
+    MMIO = "mmio"
+
+    #: DMA with the producer blocking until the transfer completes.
+    DMA_SYNC = "dma-sync"
+
+    #: DMA with asynchronous completion: highest throughput. Used by the
+    #: memory manager (section 4.2).
+    DMA_ASYNC = "dma-async"
+
+    @property
+    def is_dma(self) -> bool:
+        return self in (QueueType.DMA_SYNC, QueueType.DMA_ASYNC)

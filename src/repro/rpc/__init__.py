@@ -1,0 +1,22 @@
+"""The Stubby-like RPC stack and its offload (paper section 4.3, 7.3)."""
+
+from repro.rpc.stack import RpcStack, StackPlacement
+from repro.rpc.slo import GET_SLO_NS, RANGE_SLO_NS, assign_slo
+from repro.rpc.experiment import (
+    RpcScenario,
+    RpcPointResult,
+    run_rpc_point,
+    sweep_rpc_load,
+)
+
+__all__ = [
+    "RpcStack",
+    "StackPlacement",
+    "GET_SLO_NS",
+    "RANGE_SLO_NS",
+    "assign_slo",
+    "RpcScenario",
+    "RpcPointResult",
+    "run_rpc_point",
+    "sweep_rpc_load",
+]

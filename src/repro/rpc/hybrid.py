@@ -1,0 +1,117 @@
+"""Hybrid MMIO/DMA payload transport (section 4.3).
+
+"This combination of low latency and low throughput is what drove our
+decision to use MMIO for RPC host-SmartNIC communication. A hybrid
+approach of MMIO with DMA for large packet payloads, proposed by prior
+work, or just DMA alone, would be better for workloads with larger
+payloads."
+
+The host-side cost of moving one payload out of SmartNIC DRAM:
+
+- **MMIO**: the host reads the payload through WT line fills -- one
+  ~750 ns fill per 64 B line (subsequent words hit). Latency-optimal
+  for tiny payloads, linear-in-size CPU cost.
+- **DMA**: a descriptor (3 doorbell writes) starts the engine; the
+  payload streams to host DRAM at wire bandwidth with ~900 ns base
+  latency, then the host reads it coherently. Near-constant CPU cost,
+  so it wins past a crossover of a few hundred bytes.
+
+``HybridPayloadPath`` picks per payload by a size threshold.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from repro.hw.cache import CACHE_LINE_BYTES
+from repro.hw.params import HwParams, WORD_BYTES
+from repro.hw.platform import Machine
+
+#: Default MMIO-vs-DMA switch point. [fit: just past the modeled
+#: latency crossover, so section 7.3's small RPCs stay on MMIO]
+DEFAULT_THRESHOLD_BYTES = 256
+
+#: Engine-side descriptor fetch/validation per DMA (iPipe/Floem report
+#: substantial fixed per-op DMA overheads beyond the wire time).
+DMA_DESCRIPTOR_NS = 600.0
+#: Host-side completion detection (poll the completion flag in DRAM).
+DMA_COMPLETION_POLL_NS = 100.0
+
+
+@dataclasses.dataclass
+class PayloadCost:
+    """Host-side cost breakdown for fetching one payload."""
+
+    transport: str          #: "mmio" or "dma"
+    cpu_ns: float           #: host CPU time consumed
+    latency_ns: float       #: arrival latency of the full payload
+
+
+def mmio_payload_cost(params: HwParams, nbytes: int) -> PayloadCost:
+    """Fetch ``nbytes`` from SmartNIC DRAM with WT MMIO reads."""
+    if nbytes < 0:
+        raise ValueError("payload size must be non-negative")
+    lines = max(1, -(-nbytes // CACHE_LINE_BYTES))
+    words = max(1, -(-nbytes // WORD_BYTES))
+    cpu = (lines * params.mmio_read_uc
+           + (words - lines) * params.cache_hit
+           + lines * params.clflush)  # software coherence per line
+    return PayloadCost(transport="mmio", cpu_ns=cpu, latency_ns=cpu)
+
+
+def dma_payload_cost(params: HwParams, nbytes: int) -> PayloadCost:
+    """Fetch ``nbytes`` via one DMA descriptor into host DRAM."""
+    if nbytes < 0:
+        raise ValueError("payload size must be non-negative")
+    setup = params.dma_setup_writes * params.mmio_write_uc
+    wire = (DMA_DESCRIPTOR_NS + params.dma_base_latency
+            + nbytes / params.dma_bandwidth)
+    local_read = max(1, -(-nbytes // WORD_BYTES)) \
+        * params.host_shm_access * 0.25  # streamed, mostly prefetched
+    cpu = setup + DMA_COMPLETION_POLL_NS + local_read
+    return PayloadCost(transport="dma", cpu_ns=cpu,
+                       latency_ns=setup + wire
+                       + DMA_COMPLETION_POLL_NS + local_read)
+
+
+class HybridPayloadPath:
+    """Chooses MMIO or DMA per payload by size."""
+
+    def __init__(self, machine: Machine,
+                 threshold_bytes: int = DEFAULT_THRESHOLD_BYTES):
+        if threshold_bytes <= 0:
+            raise ValueError("threshold must be positive")
+        self.params = machine.params
+        self.threshold_bytes = threshold_bytes
+        self.mmio_used = 0
+        self.dma_used = 0
+
+    def fetch_cost(self, nbytes: int) -> PayloadCost:
+        """Cost of bringing one ``nbytes`` payload to the host."""
+        if nbytes <= self.threshold_bytes:
+            self.mmio_used += 1
+            return mmio_payload_cost(self.params, nbytes)
+        self.dma_used += 1
+        return dma_payload_cost(self.params, nbytes)
+
+
+def crossover_bytes(params: HwParams,
+                    metric: str = "latency") -> int:
+    """The payload size where DMA starts beating MMIO.
+
+    ``metric`` is ``"latency"`` (arrival time) or ``"cpu"`` (host CPU
+    time); CPU crosses earlier because DMA offloads the copy entirely.
+    """
+    if metric not in ("latency", "cpu"):
+        raise ValueError("metric must be 'latency' or 'cpu'")
+    size = WORD_BYTES
+    while size < 1 << 24:
+        mmio = mmio_payload_cost(params, size)
+        dma = dma_payload_cost(params, size)
+        a = mmio.latency_ns if metric == "latency" else mmio.cpu_ns
+        b = dma.latency_ns if metric == "latency" else dma.cpu_ns
+        if b < a:
+            return size
+        size += CACHE_LINE_BYTES
+    raise RuntimeError("no crossover below 16 MiB (check parameters)")

@@ -1,0 +1,23 @@
+"""RPC SLO classes (paper section 7.3.2).
+
+Each RPC request carries an SLO in its payload; the RPC stack extracts
+it and (when co-located) hands it to the scheduler, which maintains a
+run queue per SLO class.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.rocksdb import Request, RequestKind
+
+#: SLO of the latency-critical GET class.
+GET_SLO_NS = 200_000.0
+#: SLO of the bulk RANGE class.
+RANGE_SLO_NS = 50_000_000.0
+
+
+def assign_slo(request: Request) -> Request:
+    """Stamp the request's SLO class by kind (what the paper's load
+    generator embeds in the RPC payload)."""
+    request.slo_ns = (GET_SLO_NS if request.kind is RequestKind.GET
+                      else RANGE_SLO_NS)
+    return request

@@ -1,0 +1,20 @@
+"""Scheduling policies (paper sections 4.1, 7.2-7.3).
+
+All policies implement :class:`SchedPolicy` and run unchanged inside an
+on-host ghOSt agent or a Wave agent on the SmartNIC -- the porting
+transparency the paper claims.
+"""
+
+from repro.sched.policy import SchedPolicy
+from repro.sched.fifo import FifoPolicy
+from repro.sched.shinjuku import ShinjukuPolicy
+from repro.sched.multiqueue import MultiQueueShinjukuPolicy
+from repro.sched.cfs import CfsLikePolicy
+
+__all__ = [
+    "SchedPolicy",
+    "FifoPolicy",
+    "ShinjukuPolicy",
+    "MultiQueueShinjukuPolicy",
+    "CfsLikePolicy",
+]

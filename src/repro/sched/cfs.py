@@ -1,0 +1,59 @@
+"""A CFS-like fair policy (the vanilla Linux baseline of section 4.3).
+
+Weighted fair queueing on virtual runtime: the runnable task with the
+least accumulated vruntime runs next. Used as the baseline scheduler in
+the vanilla Stubby deployment and as a porting example -- it slots into
+the same agent machinery as every other policy.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Optional, Tuple
+
+from repro.ghost.task import GhostTask, TaskState
+from repro.sched.policy import SchedPolicy
+
+
+class CfsLikePolicy(SchedPolicy):
+    """Least-vruntime-first with a periodic fairness slice."""
+
+    def __init__(self, time_slice_ns: float = 6_000_000.0):
+        super().__init__()
+        self.time_slice = time_slice_ns
+        self._heap: List[Tuple[float, int, GhostTask]] = []
+        self._vruntime = {}
+        self._counter = itertools.count()
+        self._min_vruntime = 0.0
+
+    def enqueue(self, task: GhostTask) -> None:
+        # New tasks start at min_vruntime so they can't monopolize.
+        vruntime = self._vruntime.get(task.tid, self._min_vruntime)
+        self._vruntime[task.tid] = max(vruntime, self._min_vruntime)
+        heapq.heappush(self._heap,
+                       (self._vruntime[task.tid], next(self._counter), task))
+
+    def dequeue(self) -> Optional[GhostTask]:
+        while self._heap:
+            vruntime, _, task = heapq.heappop(self._heap)
+            if task.state is TaskState.RUNNABLE:
+                self._min_vruntime = max(self._min_vruntime, vruntime)
+                return task
+        return None
+
+    def runnable_count(self) -> int:
+        return len(self._heap)
+
+    def _iter_queued(self):
+        for _, _, task in self._heap:
+            yield task
+
+    def note_stopped(self, core: int) -> None:
+        entry = self._running.get(core)
+        if entry is not None:
+            task, started = entry
+            # Charge the vruntime it consumed.
+            ran = task.service_ns - task.remaining_ns
+            self._vruntime[task.tid] = self._min_vruntime + ran
+        super().note_stopped(core)

@@ -1,0 +1,150 @@
+"""End-to-end scheduling experiment harness (paper section 7.2).
+
+Builds one complete simulated deployment -- machine, Wave channel, ghOSt
+kernel on N worker cores, scheduling agent (on host or SmartNIC), and an
+open-loop RocksDB load generator -- runs it, and reports the
+latency/throughput observations behind Fig 4 and the section 7.2.2
+optimization table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Callable, List, Optional
+
+from repro.core import Placement, WaveChannel, WaveOpts
+from repro.ghost import GhostAgent, GhostKernel, GhostTask, SchedCosts
+from repro.hw import HwParams, Machine
+from repro.sched.policy import SchedPolicy
+from repro.sim import Environment, LatencyStats
+from repro.workloads import PoissonLoadGen, Request, RequestKind, RocksDbModel
+
+#: Default measurement window (simulated).
+DEFAULT_DURATION_NS = 40_000_000.0
+#: Arrivals in the first part of the run are excluded from statistics.
+DEFAULT_WARMUP_NS = 8_000_000.0
+
+
+@dataclasses.dataclass
+class SchedPointResult:
+    """Observations from one (scenario, offered-load) run."""
+
+    offered_rate: float            #: requests/sec offered
+    achieved_rate: float           #: requests/sec completed in window
+    get_p50_ns: float
+    get_p99_ns: float
+    get_mean_ns: float
+    completed: int
+    preemptions: int
+    prestages: int
+    dispatches: int
+    failed_txns: int
+    #: Runnable tasks left queued at the end of the run -- a growing
+    #: backlog marks over-saturation even while short requests still
+    #: complete (the dispersive Shinjuku mix).
+    end_backlog: int = 0
+    #: The same backlog measured in queued work (ms), which weighs a
+    #: queued RANGE 1000x a queued GET.
+    end_backlog_work_ms: float = 0.0
+
+    @property
+    def get_p99_us(self) -> float:
+        return self.get_p99_ns / 1_000.0
+
+
+def run_sched_point(placement: Placement,
+                    opts: WaveOpts,
+                    n_worker_cores: int,
+                    policy_factory: Callable[[], SchedPolicy],
+                    model_factory: Callable[[random.Random], RocksDbModel],
+                    rate_per_sec: float,
+                    duration_ns: float = DEFAULT_DURATION_NS,
+                    warmup_ns: float = DEFAULT_WARMUP_NS,
+                    seed: int = 1,
+                    params: Optional[HwParams] = None,
+                    costs: Optional[SchedCosts] = None,
+                    completion_cost_ns: float = 0.0) -> SchedPointResult:
+    """Run one load point and return its observations."""
+    env = Environment()
+    machine = Machine(env, params or HwParams.pcie())
+    channel = WaveChannel(machine, placement, opts, name="sched")
+    rng = random.Random(seed)
+    kernel = GhostKernel(channel, core_ids=list(range(n_worker_cores)),
+                         costs=costs, rng=rng)
+    kernel.completion_cost_ns = completion_cost_ns
+    policy = policy_factory()
+    agent = GhostAgent(channel, policy, kernel.core_ids)
+    agent.start()
+    kernel.start()
+    model = model_factory(random.Random(seed + 1))
+
+    def submit(request: Request):
+        task = GhostTask(service_ns=model.task_service_ns(request),
+                         payload=request)
+        yield from kernel.submit(task)
+
+    loadgen = PoissonLoadGen(env, model, rate_per_sec, submit,
+                             seed=seed + 2, warmup_ns=warmup_ns)
+    loadgen.start()
+    env.run(until=duration_ns)
+
+    window_s = (duration_ns - warmup_ns) / 1e9
+    gets = LatencyStats("get")
+    completed = 0
+    for request in loadgen.requests:
+        if request.completed_ns is None:
+            continue
+        if request.completed_ns < warmup_ns:
+            continue
+        completed += 1
+        if request.kind is RequestKind.GET:
+            gets.record(request.latency_ns)
+    return SchedPointResult(
+        offered_rate=rate_per_sec,
+        achieved_rate=completed / window_s,
+        get_p50_ns=gets.p50,
+        get_p99_ns=gets.p99,
+        get_mean_ns=gets.mean,
+        completed=completed,
+        preemptions=kernel.preempted,
+        prestages=agent.prestages,
+        dispatches=agent.dispatches,
+        failed_txns=kernel.failed_txns,
+        end_backlog=policy.runnable_count(),
+        end_backlog_work_ms=policy.queued_work_ns() / 1e6,
+    )
+
+
+def sweep_load(placement: Placement,
+               opts: WaveOpts,
+               n_worker_cores: int,
+               policy_factory: Callable[[], SchedPolicy],
+               model_factory: Callable[[random.Random], RocksDbModel],
+               rates: List[float],
+               **kwargs) -> List[SchedPointResult]:
+    """One latency-vs-throughput curve (one line of Fig 4)."""
+    return [run_sched_point(placement, opts, n_worker_cores, policy_factory,
+                            model_factory, rate, **kwargs)
+            for rate in rates]
+
+
+def saturation_throughput(results: List[SchedPointResult],
+                          p99_limit_ns: float) -> float:
+    """The curve's knee: highest achieved throughput whose GET p99 is
+    still under ``p99_limit_ns`` (how "saturates at X" is read off the
+    paper's figures)."""
+    eligible = [r.achieved_rate for r in results
+                if r.get_p99_ns <= p99_limit_ns]
+    return max(eligible) if eligible else 0.0
+
+
+def saturation_by_backlog(results: List[SchedPointResult],
+                          backlog_limit: int) -> float:
+    """Saturation for dispersive mixes (Fig 4b / Fig 6): the highest
+    achieved throughput at which the run ends without an accumulating
+    run-queue backlog. Past this point long requests pile up unboundedly
+    even though short requests still complete."""
+    eligible = [r.achieved_rate for r in results
+                if r.end_backlog <= backlog_limit]
+    return max(eligible) if eligible else 0.0

@@ -1,0 +1,39 @@
+"""Run-to-completion FIFO (paper section 7.2.2).
+
+The paper's simplest ported ghOSt policy: little compute, but one
+decision per request, stressing the Wave API and the PCIe queues.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.ghost.task import GhostTask, TaskState
+from repro.sched.policy import SchedPolicy
+
+
+class FifoPolicy(SchedPolicy):
+    """First-in first-out, no preemption."""
+
+    time_slice = None
+
+    def __init__(self):
+        super().__init__()
+        self._queue: Deque[GhostTask] = deque()
+
+    def enqueue(self, task: GhostTask) -> None:
+        self._queue.append(task)
+
+    def dequeue(self) -> Optional[GhostTask]:
+        while self._queue:
+            task = self._queue.popleft()
+            if task.state is TaskState.RUNNABLE:
+                return task
+        return None
+
+    def runnable_count(self) -> int:
+        return len(self._queue)
+
+    def _iter_queued(self):
+        return iter(self._queue)

@@ -1,0 +1,74 @@
+"""Multi-queue SLO-aware Shinjuku (paper section 7.3.2).
+
+Each RPC carries an SLO class in its payload; the RPC stack passes it to
+the scheduler, which keeps one run queue per SLO class and serves the
+tightest class first. This uses RPC-specific information that is only
+cheaply available when the scheduler is co-located with the RPC stack
+(on the SmartNIC) -- the point of Fig 6b.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.ghost.task import GhostTask, TaskState
+from repro.sched.policy import SchedPolicy
+from repro.sched.shinjuku import DEFAULT_TIME_SLICE_NS
+
+#: SLO class of a task whose payload carries none.
+DEFAULT_SLO_NS = 1_000_000.0
+
+
+def task_slo(task: GhostTask) -> float:
+    """The SLO class of ``task`` (ns), from its request payload."""
+    slo = getattr(task.payload, "slo_ns", None)
+    return DEFAULT_SLO_NS if slo is None else slo
+
+
+class MultiQueueShinjukuPolicy(SchedPolicy):
+    """Per-SLO-class run queues, strictest class first, preemptive."""
+
+    def __init__(self, time_slice_ns: float = DEFAULT_TIME_SLICE_NS):
+        super().__init__()
+        if time_slice_ns <= 0:
+            raise ValueError("time slice must be positive")
+        self.time_slice = time_slice_ns
+        self._queues: Dict[float, Deque[GhostTask]] = {}
+
+    def enqueue(self, task: GhostTask) -> None:
+        self._queues.setdefault(task_slo(task), deque()).append(task)
+
+    def dequeue(self) -> Optional[GhostTask]:
+        for slo in sorted(self._queues):
+            queue = self._queues[slo]
+            while queue:
+                task = queue.popleft()
+                if task.state is TaskState.RUNNABLE:
+                    return task
+        return None
+
+    def runnable_count(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def _iter_queued(self):
+        for queue in self._queues.values():
+            yield from queue
+
+    def preemptions_due(self, now: float):
+        """Preempt a long-running task only when a *tighter-SLO* task is
+        waiting -- per-class isolation rather than blind round-robin."""
+        if not self._running:
+            return []
+        due = []
+        for core, (task, started) in self._running.items():
+            if now - started < self.time_slice:
+                continue
+            waiting = self._tightest_waiting_slo()
+            if waiting is not None and waiting <= task_slo(task):
+                due.append(core)
+        return due
+
+    def _tightest_waiting_slo(self) -> Optional[float]:
+        candidates = [slo for slo, q in self._queues.items() if q]
+        return min(candidates) if candidates else None

@@ -1,0 +1,46 @@
+"""The Shinjuku policy (paper sections 7.2.3, 7.3.1).
+
+Single centralized queue, round-robin with time-based preemption: tasks
+that exceed the slice are interrupted so short requests don't suffer
+inflated latency stuck behind long ones (the 10 ms RANGE queries in the
+paper's dispersive RocksDB mix).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.ghost.task import GhostTask, TaskState
+from repro.sched.policy import SchedPolicy
+
+#: The paper's preemption slice for RocksDB experiments.
+DEFAULT_TIME_SLICE_NS = 30_000.0
+
+
+class ShinjukuPolicy(SchedPolicy):
+    """Single-queue preemptive round-robin."""
+
+    def __init__(self, time_slice_ns: float = DEFAULT_TIME_SLICE_NS):
+        super().__init__()
+        if time_slice_ns <= 0:
+            raise ValueError("time slice must be positive")
+        self.time_slice = time_slice_ns
+        self._queue: Deque[GhostTask] = deque()
+
+    def enqueue(self, task: GhostTask) -> None:
+        # Preempted tasks go to the tail: round-robin.
+        self._queue.append(task)
+
+    def dequeue(self) -> Optional[GhostTask]:
+        while self._queue:
+            task = self._queue.popleft()
+            if task.state is TaskState.RUNNABLE:
+                return task
+        return None
+
+    def runnable_count(self) -> int:
+        return len(self._queue)
+
+    def _iter_queued(self):
+        return iter(self._queue)

@@ -1,0 +1,149 @@
+"""Virtual machine scheduling (paper section 7.2.4).
+
+The paper's production VM policy (inspired by Tableau) gives vCPUs
+5-10 ms quanta with preemption at 1 ms granularity, prioritizing fair
+sharing with a tail-latency bound. Two 128-vCPU VMs are multiplexed over
+one 128-logical-core socket (2:1 overcommit).
+
+The on-host deployment needs 1 ms timer ticks on every core (each core
+schedules itself); ticks keep idle cores out of deep C-states and cap
+the turbo boost of busy cores. The Wave deployment moves the policy to a
+polling SmartNIC agent, disables ticks, and recovers the boost -- that
+difference is the entirety of Fig 5.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.hw.cpu import Core, Socket
+from repro.sim import Environment, Interrupt
+
+#: The paper's quantum range and preemption granularity.
+QUANTUM_NS = 5_000_000.0
+PREEMPT_GRANULARITY_NS = 1_000_000.0
+#: Cost of a vCPU world switch (VMEXIT + state swap + VMENTER).
+VM_SWITCH_NS = 3_000.0
+
+
+@dataclasses.dataclass
+class Vcpu:
+    """One virtual CPU of a guest VM."""
+
+    vm_id: int
+    vcpu_id: int
+    busy: bool = False     #: running busy_loop vs idle (halted)
+    runtime_ns: float = 0.0
+
+    @property
+    def name(self) -> str:
+        return f"vm{self.vm_id}.vcpu{self.vcpu_id}"
+
+
+class VmCoreScheduler:
+    """Schedules the vCPUs sharing one logical core.
+
+    Fair quantum rotation among *busy* vCPUs; idle vCPUs consume nothing
+    (their guests halted). With at most one busy vCPU there is nothing
+    to rotate and the vCPU runs uninterrupted -- the common case in the
+    Fig 5 sweep, where contention never happens and the entire effect is
+    ticks vs turbo.
+    """
+
+    def __init__(self, env: Environment, core: Core, thread_slot: int,
+                 vcpus: List[Vcpu]):
+        self.env = env
+        self.core = core
+        self.thread_slot = thread_slot
+        self.vcpus = vcpus
+        self.switches = 0
+        self._proc = None
+
+    def start(self) -> None:
+        self._proc = self.env.process(
+            self._run(), name=f"vmsched-c{self.core.id}t{self.thread_slot}")
+
+    def _busy_vcpus(self) -> List[Vcpu]:
+        return [v for v in self.vcpus if v.busy]
+
+    def _run(self):
+        env = self.env
+        index = 0
+        running = False
+        while True:
+            busy = self._busy_vcpus()
+            if not busy:
+                if running:
+                    self.core.thread_stopped()
+                    running = False
+                # Idle: re-inspect at preemption granularity. (With Wave
+                # and no ticks the *hardware* core sleeps; this control
+                # process models the hypervisor's bookkeeping only.)
+                yield env.timeout(PREEMPT_GRANULARITY_NS)
+                continue
+            vcpu = busy[index % len(busy)]
+            index += 1
+            if not running:
+                self.core.thread_started()
+                running = True
+            if len(busy) > 1:
+                self.switches += 1
+                yield env.timeout(VM_SWITCH_NS)
+            start = env.now
+            # Run one quantum, checking runnability each millisecond.
+            elapsed = 0.0
+            while elapsed < QUANTUM_NS and vcpu.busy:
+                step = min(PREEMPT_GRANULARITY_NS, QUANTUM_NS - elapsed)
+                yield env.timeout(step)
+                elapsed += step
+                if len(self._busy_vcpus()) > 1 and elapsed >= QUANTUM_NS:
+                    break
+            vcpu.runtime_ns += env.now - start
+
+
+class VmHost:
+    """One socket running two 128-vCPU VMs (the Fig 5 configuration)."""
+
+    def __init__(self, env: Environment, socket: Socket, n_vms: int = 2,
+                 vcpus_per_vm: int = 128):
+        self.env = env
+        self.socket = socket
+        threads = len(socket.cores) * socket.params.threads_per_core
+        if n_vms * vcpus_per_vm > 2 * threads:
+            raise ValueError("more vCPUs than 2:1 overcommit allows")
+        self.vms: List[List[Vcpu]] = [
+            [Vcpu(vm, i) for i in range(vcpus_per_vm)] for vm in range(n_vms)]
+        #: Logical-thread slots: (core, slot) -> co-resident vCPUs.
+        self.schedulers: List[VmCoreScheduler] = []
+        n_cores = len(socket.cores)
+        for slot in range(socket.params.threads_per_core):
+            for ci, core in enumerate(socket.cores):
+                thread_index = slot * n_cores + ci
+                coresident = [vm[thread_index] for vm in self.vms
+                              if thread_index < len(vm)]
+                self.schedulers.append(
+                    VmCoreScheduler(env, core, slot, coresident))
+
+    def start(self) -> None:
+        for scheduler in self.schedulers:
+            scheduler.start()
+
+    def activate(self, total_active: int) -> List[Vcpu]:
+        """Mark ``total_active`` vCPUs busy.
+
+        Placement follows the paper: one busy vCPU per logical thread,
+        filling the first hyperthread of every physical core before
+        using second siblings, alternating between the two VMs. vCPU
+        ``j`` of each VM is co-resident on logical thread ``j``, so busy
+        vCPU ``k`` is VM ``k % n_vms``'s vCPU ``k`` (distinct threads).
+        """
+        n_threads = len(self.schedulers)
+        if total_active > n_threads:
+            raise ValueError(f"at most {n_threads} concurrently busy vCPUs")
+        activated = []
+        for k in range(total_active):
+            vcpu = self.vms[k % len(self.vms)][k]
+            vcpu.busy = True
+            activated.append(vcpu)
+        return activated

@@ -1,0 +1,48 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, simpy-style engine written from scratch:
+
+- :class:`Environment` drives a nanosecond-resolution virtual clock.
+- :class:`Process` wraps a generator; ``yield`` an event to wait on it.
+- :class:`Event`, :class:`Timeout`, :class:`AnyOf`, :class:`AllOf` are the
+  waitable primitives.
+- :class:`Interrupt` supports asynchronous cancellation (preemption).
+- :class:`Store` is a FIFO channel for inter-process communication.
+
+Determinism: events scheduled for the same timestamp are processed in
+(priority, insertion-order), so a seeded simulation replays identically.
+"""
+
+from repro.sim.events import (
+    Event,
+    Timeout,
+    Condition,
+    AnyOf,
+    AllOf,
+    EventAlreadyTriggered,
+)
+from repro.sim.process import Process, Interrupt
+from repro.sim.core import Environment, StopSimulation
+from repro.sim.resources import Store, Resource
+from repro.sim.monitor import LatencyStats, TimeWeightedValue, Counter
+from repro.sim.trace import Tracer, TraceEvent
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Condition",
+    "AnyOf",
+    "AllOf",
+    "Process",
+    "Interrupt",
+    "Store",
+    "Resource",
+    "StopSimulation",
+    "LatencyStats",
+    "TimeWeightedValue",
+    "Counter",
+    "EventAlreadyTriggered",
+    "Tracer",
+    "TraceEvent",
+]

@@ -1,0 +1,129 @@
+"""The simulation environment: clock plus event queue."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout, NORMAL
+from repro.sim.process import Process
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` at an event."""
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Environment:
+    """Drives simulated time forward by processing scheduled events.
+
+    Time is a number of *nanoseconds* by convention throughout the
+    project; the kernel itself only requires it to be an ordered numeric.
+    """
+
+    def __init__(self, initial_time: float = 0):
+        self._now = initial_time
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (ns)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- factories ---------------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh pending event; trigger it with succeed()/fail()."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` ns from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start running ``generator`` as a simulation process."""
+        return Process(self, generator, name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Condition satisfied when any of ``events`` triggers."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Condition satisfied when all of ``events`` have triggered."""
+        return AllOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _schedule(self, event: Event, priority: int, delay: float = 0) -> None:
+        self._seq += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # A failure nobody waited on: surface it instead of losing it.
+            exc = event._value
+            raise type(exc)(*exc.args) from exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run to exhaustion), a number (run until
+        that simulated time), or an :class:`Event` (run until it triggers,
+        returning its value).
+        """
+        if until is None:
+            stop_at = float("inf")
+        elif isinstance(until, Event):
+            if until.callbacks is None:
+                return until.value if until.ok else None
+            until.callbacks.append(self._stop_callback)
+            stop_at = float("inf")
+        else:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise ValueError(
+                    f"until ({stop_at}) must not be before now ({self._now})")
+
+        try:
+            while self._queue and self._queue[0][0] <= stop_at:
+                self.step()
+        except StopSimulation as stop:
+            return stop.args[0]
+        if not isinstance(until, Event):
+            # Advance the clock to the requested stop time even if the
+            # queue drained early, so repeated run(until=...) is monotonic.
+            if stop_at != float("inf"):
+                self._now = max(self._now, stop_at)
+            return None
+        if until.triggered:
+            return until.value
+        raise RuntimeError("simulation ended before the awaited event fired")
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        if event.ok:
+            raise StopSimulation(event.value)
+        raise type(event.value)(*event.value.args) from event.value

@@ -1,0 +1,179 @@
+"""Waitable event primitives for the simulation kernel."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+#: Sentinel marking an event that has not yet been given a value.
+PENDING = object()
+
+#: Scheduling priorities. URGENT events (interrupts) are processed before
+#: NORMAL events that share a timestamp.
+URGENT = 0
+NORMAL = 1
+
+
+class EventAlreadyTriggered(RuntimeError):
+    """Raised when ``succeed``/``fail`` is called on a triggered event."""
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event moves through three states: *pending* (just created),
+    *triggered* (given a value via :meth:`succeed` or :meth:`fail` and
+    scheduled for processing), and *processed* (its callbacks have run).
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment"):  # noqa: F821
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not be processed yet)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have been invoked."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded. Only valid once triggered."""
+        if self._value is PENDING:
+            raise RuntimeError("event has not been triggered")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or the exception it failed with)."""
+        if self._value is PENDING:
+            raise RuntimeError("event has not been triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised in every waiting process. If nothing is
+        waiting and the failure is never defused, the environment raises it
+        to avoid silently dropping errors.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not PENDING:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it won't crash the run."""
+        self._defused = True
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically ``delay`` time units from now."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):  # noqa: F821
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay}>"
+
+
+class Condition(Event):
+    """Waits for a combination of events, judged by ``evaluate``.
+
+    The condition's value is a dict mapping each *triggered* child event
+    to its value, in child order.
+    """
+
+    __slots__ = ("_events", "_evaluate", "_count")
+
+    def __init__(self, env, evaluate, events):  # noqa: F821
+        super().__init__(env)
+        self._events = tuple(events)
+        self._evaluate = evaluate
+        self._count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("events belong to different environments")
+        # Check already-processed children first, then subscribe.
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+        if not self._events and self._value is PENDING:
+            self.succeed({})
+
+    def _collect_values(self) -> dict:
+        # Timeouts are "triggered" from birth; only children whose
+        # callbacks have run (processed) have actually occurred.
+        return {e: e._value for e in self._events if e.processed}
+
+    def _check(self, event: Event) -> None:
+        if self._value is not PENDING:
+            return
+        self._count += 1
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+
+def _eval_any(events, count) -> bool:
+    return count > 0 or not events
+
+
+def _eval_all(events, count) -> bool:
+    return count == len(events)
+
+
+class AnyOf(Condition):
+    """Triggers as soon as any child event triggers."""
+
+    __slots__ = ()
+
+    def __init__(self, env, events):  # noqa: F821
+        super().__init__(env, _eval_any, events)
+
+
+class AllOf(Condition):
+    """Triggers once every child event has triggered."""
+
+    __slots__ = ()
+
+    def __init__(self, env, events):  # noqa: F821
+        super().__init__(env, _eval_all, events)

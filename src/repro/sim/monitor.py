@@ -1,0 +1,124 @@
+"""Measurement helpers shared by every experiment."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+
+class LatencyStats:
+    """Accumulates samples and reports percentiles.
+
+    Percentiles use the nearest-rank method, matching how the paper's
+    tail-latency figures are conventionally computed.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
+
+    def record(self, value: float) -> None:
+        """Add one sample."""
+        self._samples.append(value)
+        self._sorted = None
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            return float("nan")
+        return sum(self._samples) / len(self._samples)
+
+    @property
+    def max(self) -> float:
+        return max(self._samples) if self._samples else float("nan")
+
+    @property
+    def min(self) -> float:
+        return min(self._samples) if self._samples else float("nan")
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p} out of range")
+        if not self._samples:
+            return float("nan")
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        rank = max(1, math.ceil(p / 100.0 * len(self._sorted)))
+        return self._sorted[rank - 1]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def __repr__(self) -> str:
+        if not self._samples:
+            return f"<LatencyStats {self.name!r} empty>"
+        return (f"<LatencyStats {self.name!r} n={self.count} "
+                f"p50={self.p50:.0f} p99={self.p99:.0f}>")
+
+
+class TimeWeightedValue:
+    """Tracks a piecewise-constant value and its time integral.
+
+    Used for e.g. run-queue depth over time and turbo-frequency work
+    output (work = integral of frequency over busy time).
+    """
+
+    def __init__(self, env, initial: float = 0.0):
+        self.env = env
+        self._value = initial
+        self._last_change = env.now
+        self._integral = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Change the tracked value as of the current simulated time."""
+        now = self.env.now
+        self._integral += self._value * (now - self._last_change)
+        self._last_change = now
+        self._value = value
+
+    def add(self, delta: float) -> None:
+        self.set(self._value + delta)
+
+    @property
+    def integral(self) -> float:
+        """Integral of the value up to the current simulated time."""
+        return self._integral + self._value * (self.env.now - self._last_change)
+
+    def time_average(self, since: float = 0.0) -> float:
+        """Average value from ``since`` to now (assumes tracking began then)."""
+        elapsed = self.env.now - since
+        if elapsed <= 0:
+            return self._value
+        return self.integral / elapsed
+
+
+class Counter:
+    """A named monotonic counter."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0
+
+    def incr(self, by: int = 1) -> None:
+        self.value += by
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name!r}={self.value}>"

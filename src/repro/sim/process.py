@@ -1,0 +1,133 @@
+"""Processes: generator coroutines driven by the event loop."""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.events import Event, PENDING, URGENT
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    Used for preemption (e.g. the Shinjuku time-slice) and watchdog kills.
+    """
+
+    @property
+    def cause(self) -> Any:
+        """Whatever the interrupter passed as the reason."""
+        return self.args[0]
+
+
+class _Initialize(Event):
+    """Kicks off a freshly created process at the current time."""
+
+    __slots__ = ()
+
+    def __init__(self, env, process):  # noqa: F821
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks = [process._resume]
+        env._schedule(self, URGENT)
+
+
+class _Interruption(Event):
+    """Carries an :class:`Interrupt` into a process, out of band."""
+
+    __slots__ = ("_process",)
+
+    def __init__(self, process: "Process", cause: Any):
+        super().__init__(process.env)
+        if process.triggered:
+            raise RuntimeError(f"{process!r} has terminated; cannot interrupt")
+        if process is self.env.active_process:
+            raise RuntimeError("a process cannot interrupt itself")
+        self._process = process
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True
+        self.callbacks = [self._deliver]
+        self.env._schedule(self, URGENT)
+
+    def _deliver(self, event: Event) -> None:
+        process = self._process
+        if process.triggered:
+            return  # Terminated between interrupt() and delivery.
+        # Detach the process from whatever it was waiting on, then resume
+        # it with the failure so the generator sees Interrupt raised.
+        target = process._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(process._resume)
+            except ValueError:
+                pass
+        process._resume(self)
+
+
+class Process(Event):
+    """A running generator. The process is itself an event that triggers
+    with the generator's return value when it finishes (or fails with the
+    exception that escaped it).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env, generator: Generator, name: str = ""):  # noqa: F821
+        if not hasattr(generator, "throw"):
+            raise ValueError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = _Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process as soon as possible."""
+        _Interruption(self, cause)
+
+    def _resume(self, event: Event) -> None:
+        env = self.env
+        env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as exc:
+                self._target = None
+                env._active_process = None
+                self.succeed(exc.value)
+                return
+            except BaseException as exc:
+                self._target = None
+                env._active_process = None
+                self.fail(exc)
+                return
+
+            if not isinstance(next_event, Event):
+                self._target = None
+                env._active_process = None
+                self.fail(RuntimeError(
+                    f"process {self.name!r} yielded a non-event: "
+                    f"{next_event!r}"))
+                return
+
+            if next_event.callbacks is not None:
+                # Still pending or triggered-but-unprocessed: wait for it.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                env._active_process = None
+                return
+
+            # Already processed: continue immediately with its value.
+            event = next_event
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"

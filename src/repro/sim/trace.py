@@ -1,0 +1,84 @@
+"""Lightweight event tracing for simulated systems.
+
+A :class:`Tracer` records typed, timestamped events into a bounded ring
+(so long runs don't grow unboundedly) and renders timelines for
+debugging. Subsystems accept an optional tracer and emit events at
+their protocol edges.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional
+
+
+@dataclasses.dataclass
+class TraceEvent:
+    """One recorded occurrence."""
+
+    when_ns: float
+    kind: str
+    fields: Dict[str, Any]
+
+    def render(self) -> str:
+        details = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"{self.when_ns / 1000:12.3f}us  {self.kind:<18s} {details}"
+
+
+class Tracer:
+    """Bounded in-memory event recorder."""
+
+    def __init__(self, env, capacity: int = 100_000,
+                 kinds: Optional[Iterable[str]] = None):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self._events: Deque[TraceEvent] = collections.deque(maxlen=capacity)
+        #: When set, only these kinds are recorded.
+        self.kinds = set(kinds) if kinds is not None else None
+        self.dropped = 0
+        self.recorded = 0
+
+    def record(self, kind: str, **fields: Any) -> None:
+        """Record one event at the current simulated time."""
+        if self.kinds is not None and kind not in self.kinds:
+            self.dropped += 1
+            return
+        if len(self._events) == self._events.maxlen:
+            self.dropped += 1
+        self._events.append(TraceEvent(self.env.now, kind, fields))
+        self.recorded += 1
+
+    def events(self, kind: Optional[str] = None,
+               where: Optional[Callable[[TraceEvent], bool]] = None
+               ) -> List[TraceEvent]:
+        """Recorded events, optionally filtered."""
+        out = list(self._events)
+        if kind is not None:
+            out = [e for e in out if e.kind == kind]
+        if where is not None:
+            out = [e for e in out if where(e)]
+        return out
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self._events if e.kind == kind)
+
+    def timeline(self, limit: int = 50) -> str:
+        """Human-readable tail of the trace."""
+        tail = list(self._events)[-limit:]
+        return "\n".join(event.render() for event in tail)
+
+    def spans(self, start_kind: str, end_kind: str,
+              key: str) -> List[float]:
+        """Durations between matching start/end events, paired by the
+        value of ``fields[key]`` (e.g. task id)."""
+        open_at: Dict[Any, float] = {}
+        durations: List[float] = []
+        for event in self._events:
+            tag = event.fields.get(key)
+            if event.kind == start_kind:
+                open_at[tag] = event.when_ns
+            elif event.kind == end_kind and tag in open_at:
+                durations.append(event.when_ns - open_at.pop(tag))
+        return durations

@@ -1,0 +1,23 @@
+"""Workload models: RocksDB, load generators, busy_loop (section 7)."""
+
+from repro.workloads.rocksdb import (
+    Request,
+    RequestKind,
+    RocksDbModel,
+    GET_SERVICE_NS,
+    RANGE_SERVICE_NS,
+)
+from repro.workloads.loadgen import PoissonLoadGen
+from repro.workloads.closedloop import ClosedLoopLoadGen
+from repro.workloads.busyloop import BusyLoop
+
+__all__ = [
+    "Request",
+    "RequestKind",
+    "RocksDbModel",
+    "GET_SERVICE_NS",
+    "RANGE_SERVICE_NS",
+    "PoissonLoadGen",
+    "ClosedLoopLoadGen",
+    "BusyLoop",
+]

@@ -1,0 +1,61 @@
+"""The busy_loop utility (paper section 7.2.4).
+
+"Consumes cycles with arithmetic operations and system calls"; used to
+characterize compute performance and generate turbo frequency curves.
+Work output is the integral of the core's boosted frequency over the
+thread's busy time, scaled by SMT contention and net of tick overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hw.cpu import Core
+from repro.sim import Environment
+
+
+class BusyLoop:
+    """One busy_loop instance pinned to a logical core."""
+
+    def __init__(self, env: Environment, core: Core, vcpu_id: int,
+                 manage_core: bool = True):
+        self.env = env
+        self.core = core
+        self.vcpu_id = vcpu_id
+        #: When False, a VM scheduler owns the core's busy accounting
+        #: and this object only measures (the Fig 5 setup).
+        self.manage_core = manage_core
+        self.work = 0.0            #: accumulated work (GHz * ns = cycles)
+        self._started_at: Optional[float] = None
+        self._freq_integral_at_start = 0.0
+        self._tick_time_at_start = 0.0
+        self._proc = None
+
+    def start(self) -> None:
+        """Pin to the core and spin forever (until the run window ends)."""
+        if self.manage_core:
+            self.core.thread_started()
+        self._started_at = self.env.now
+        self._freq_integral_at_start = self.core.socket.freq.integral
+        self._tick_time_at_start = self.core.tick_time
+
+    def finish(self) -> float:
+        """Stop and return the work completed (in effective gigacycles).
+
+        work = integral(frequency) over the busy window, scaled by the
+        SMT factor, minus cycles stolen by timer ticks on this core.
+        """
+        if self._started_at is None:
+            raise RuntimeError("busy_loop was never started")
+        freq_integral = (self.core.socket.freq.integral
+                         - self._freq_integral_at_start)
+        tick_time = (self.core.tick_time - self._tick_time_at_start)
+        # Each logical core receives its own 1 ms tick, so every busy
+        # thread loses the full per-thread tick time at the
+        # then-current frequency.
+        avg_freq = freq_integral / max(1e-9, self.env.now - self._started_at)
+        self.work = (freq_integral - tick_time * avg_freq) \
+            * self.core.smt_factor
+        if self.manage_core:
+            self.core.thread_stopped()
+        return self.work

@@ -1,0 +1,65 @@
+"""Open-loop Poisson load generation (the paper's load generator)."""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Optional
+
+from repro.sim import Environment, Interrupt
+from repro.workloads.rocksdb import Request, RocksDbModel
+
+
+class PoissonLoadGen:
+    """Generates requests at ``rate_per_sec`` with exponential gaps.
+
+    Open loop: arrivals do not depend on completions, so overload shows
+    up as unbounded queueing/tail latency -- how the paper's
+    latency-vs-throughput curves are produced.
+    """
+
+    def __init__(self, env: Environment, model: RocksDbModel,
+                 rate_per_sec: float,
+                 submit: Callable[[Request], object],
+                 seed: int = 1, warmup_ns: float = 0.0):
+        if rate_per_sec <= 0:
+            raise ValueError("rate must be positive")
+        self.env = env
+        self.model = model
+        self.rate_per_sec = rate_per_sec
+        self.mean_gap_ns = 1e9 / rate_per_sec
+        self.submit = submit
+        self.rng = random.Random(seed)
+        self.warmup_ns = warmup_ns
+        self.generated = 0
+        self.requests = []
+        self._proc = None
+
+    def start(self):
+        self._proc = self.env.process(self._run(), name="loadgen")
+        return self._proc
+
+    def stop(self):
+        """End the load (e.g. to watch the system drain)."""
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("load generator stopped")
+
+    def _run(self):
+        env = self.env
+        # Arrivals follow a precomputed Poisson schedule so that the
+        # submit path's CPU cost cannot silently throttle offered load.
+        next_arrival = env.now
+        try:
+            while True:
+                next_arrival += self.rng.expovariate(1.0) * self.mean_gap_ns
+                if next_arrival > env.now:
+                    yield env.timeout(next_arrival - env.now)
+                request = self.model.next_request(env.now)
+                self.generated += 1
+                if env.now >= self.warmup_ns:
+                    self.requests.append(request)
+                # submit() is a generator charging the submitting core's
+                # costs (kernel wakeup + message send).
+                yield from self.submit(request)
+        except Interrupt:
+            return

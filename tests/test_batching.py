@@ -1,0 +1,89 @@
+"""Batching semantics across the API (section 3.2: "multiple messages
+and transactions can be batched")."""
+
+import pytest
+
+from repro.core import (
+    Message,
+    Placement,
+    WaveChannel,
+    WaveHostApi,
+    WaveNicApi,
+    WaveOpts,
+)
+from repro.hw import HwParams, Machine
+from repro.sim import Environment
+
+
+def build(opts=None):
+    env = Environment()
+    machine = Machine(env, HwParams.pcie())
+    channel = WaveChannel(machine, Placement.NIC,
+                          opts or WaveOpts.full(), name="b")
+    return env, channel
+
+
+def test_wc_message_batch_cheaper_than_singles():
+    """One SEND_MESSAGES of N beats N sends of 1: the WC buffer flushes
+    once per batch (section 5.3.1)."""
+    env, channel = build()
+    batch_cost = channel.msg_ring.produce([Message("m", i)
+                                           for i in range(8)])
+    env2, channel2 = build()
+    single_costs = sum(channel2.msg_ring.produce([Message("m", i)])
+                       for i in range(8))
+    assert batch_cost < single_costs
+
+
+def test_uc_batching_gains_nothing():
+    """Without WC PTEs every word is a separate posted write, so
+    batching only saves API overhead, not PCIe cost."""
+    env, channel = build(WaveOpts.baseline())
+    batch_cost = channel.msg_ring.produce([Message("m", i)
+                                           for i in range(8)])
+    env2, channel2 = build(WaveOpts.baseline())
+    single_costs = sum(channel2.msg_ring.produce([Message("m", i)])
+                       for i in range(8))
+    assert batch_cost == pytest.approx(single_costs)
+
+
+def test_txns_commit_batch_single_call():
+    """TXNS_COMMIT accepts a batch targeting different cores."""
+    env, channel = build()
+    nic = WaveNicApi(channel)
+    log = {}
+
+    def agent():
+        txns = [nic.txn_create(core, f"d{core}") for core in range(4)]
+        yield from nic.txns_commit(txns, send_msix=False)
+        log["done"] = env.now
+
+    env.process(agent())
+    env.run(until=1_000_000)
+    assert "done" in log
+    for core in range(4):
+        assert channel.slot(core).peek_staged() is not None
+
+
+def test_consume_batches_amortize_wakeups():
+    """A burst of messages is drained in few consume calls."""
+    env, channel = build()
+    host = WaveHostApi(channel)
+    nic = WaveNicApi(channel)
+    batches = []
+
+    def agent():
+        got = 0
+        while got < 20:
+            messages = yield from nic.wait_messages(max_batch=64)
+            batches.append(len(messages))
+            got += len(messages)
+
+    def sender():
+        yield from host.send_messages([Message("m", i) for i in range(20)])
+
+    env.process(agent())
+    env.process(sender())
+    env.run(until=1_000_000)
+    assert sum(batches) == 20
+    assert len(batches) <= 3  # drained in one or two wakeups

@@ -1,0 +1,52 @@
+"""Tests for the benchmark reporting helpers."""
+
+import math
+
+from repro.bench.reporting import ExperimentReport, pct_delta, render_table
+
+
+def test_render_table_alignment():
+    text = render_table(("name", "value"),
+                        [("alpha", 1.0), ("beta", 12345.0)])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert "12,345" in text
+    assert len(lines) == 4  # header, rule, two rows
+
+
+def test_render_table_empty():
+    text = render_table(("a", "b"), [])
+    assert "a" in text and "b" in text
+
+
+def test_float_formatting():
+    text = render_table(("v",), [(0.5,), (0.0,), (3.14159,)])
+    assert "0.5" in text
+    assert "3.14" in text
+
+
+def test_report_render_includes_notes():
+    report = ExperimentReport("x", "Title", ("a",), [("r1",)],
+                              notes="something important")
+    out = report.render()
+    assert "x: Title" in out
+    assert "something important" in out
+
+
+def test_row_map():
+    report = ExperimentReport("x", "t", ("k", "v"),
+                              [("a", 1), ("b", 2)])
+    assert report.row_map()["b"] == ("b", 2)
+
+
+def test_pct_delta():
+    assert pct_delta(110, 100) == 10.0
+    assert pct_delta(90, 100) == -10.0
+    assert math.isnan(pct_delta(1, 0))
+
+
+def test_write_csv(tmp_path):
+    from repro.bench.reporting import write_csv
+    path = tmp_path / "out.csv"
+    write_csv(str(path), ("a", "b"), [(1, "x"), (2, "y")])
+    assert path.read_text().splitlines() == ["a,b", "1,x", "2,y"]

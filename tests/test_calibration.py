@@ -1,0 +1,48 @@
+"""Calibration guard: the paper's anchor numbers, quickly.
+
+A condensed version of the Table 2 / Table 3 benchmarks that runs in
+the unit suite, so any change that silently un-calibrates the model
+fails ``pytest tests/`` -- not just the (slower) benchmark suite.
+"""
+
+import pytest
+
+from repro.bench.table2_hw import PAPER as TABLE2, _measure
+from repro.bench.table3_sched import measure_ctx_median, measure_open_decision
+from repro.core import Placement, WaveOpts
+from repro.hw import HwParams, Machine, PteType
+from repro.sim import Environment
+
+
+def test_table2_primitives_exact():
+    env = Environment()
+    measured = _measure(Machine(env, HwParams.pcie()))
+    for name, paper in TABLE2.items():
+        assert measured[name] == pytest.approx(paper, rel=0.02), name
+
+
+def test_open_decision_rows():
+    assert measure_open_decision(PteType.UC) == pytest.approx(1013, rel=0.02)
+    assert measure_open_decision(PteType.WB) == pytest.approx(426, rel=0.02)
+
+
+@pytest.mark.parametrize("placement,opts,paper_mid", [
+    (Placement.NIC, WaveOpts.full(), 3680),
+    (Placement.NIC, WaveOpts.wc_wt(), 6505),
+    (Placement.HOST, WaveOpts.full(), 2805),
+    (Placement.HOST,
+     WaveOpts(nic_wb=True, host_wc_wt=True, prestage=False, prefetch=False),
+     4685),
+])
+def test_ctx_switch_overheads_near_paper(placement, opts, paper_mid):
+    median = measure_ctx_median(placement, opts, seed=0, tasks=80)
+    assert median == pytest.approx(paper_mid, rel=0.20), \
+        f"{placement} {opts}: {median:.0f} vs {paper_mid}"
+
+
+def test_fig5_anchor_points():
+    from repro.sched.vm_experiment import improvement_no_ticks
+    assert improvement_no_ticks(1, measure_ns=20_000_000) \
+        == pytest.approx(11.2, abs=1.0)
+    assert improvement_no_ticks(128, measure_ns=20_000_000) \
+        == pytest.approx(1.7, abs=0.4)

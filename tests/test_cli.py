@@ -1,0 +1,43 @@
+"""Tests for the command-line entry point."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for key in EXPERIMENTS:
+        assert key in out
+
+
+def test_unknown_experiment(capsys):
+    assert main(["run", "nope"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_table2(capsys):
+    assert main(["run", "table2", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "Hardware microbenchmarks" in out
+    assert "750" in out
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "mmio_read_uc" in out
+    assert "wave-repro" in out
+
+
+def test_no_command_prints_help(capsys):
+    assert main([]) == 1
+    assert "usage" in capsys.readouterr().out
+
+
+def test_registry_covers_every_bench_module():
+    import repro.bench.generate as generate
+    registered = {module for module, _ in EXPERIMENTS.values()}
+    generated = {m.__name__ for m in generate.MODULES}
+    assert registered == generated

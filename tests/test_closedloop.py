@@ -1,0 +1,100 @@
+"""Tests for the closed-loop load generator."""
+
+import random
+
+import pytest
+
+from repro.core import Placement, WaveChannel, WaveOpts
+from repro.ghost import GhostAgent, GhostKernel, GhostTask
+from repro.hw import HwParams, Machine
+from repro.sched import FifoPolicy
+from repro.sim import Environment
+from repro.workloads import ClosedLoopLoadGen, RocksDbModel
+
+
+def build_system(n_clients, think_ns=0.0, cores=2):
+    env = Environment()
+    machine = Machine(env, HwParams.pcie())
+    channel = WaveChannel(machine, Placement.NIC, WaveOpts.full(), name="cl")
+    kernel = GhostKernel(channel, core_ids=list(range(cores)),
+                         rng=random.Random(1))
+    agent = GhostAgent(channel, FifoPolicy(), kernel.core_ids)
+    model = RocksDbModel.fifo_mix(random.Random(2))
+
+    def submit(request):
+        task = GhostTask(service_ns=model.task_service_ns(request),
+                         payload=request)
+        yield from kernel.submit(task)
+
+    gen = ClosedLoopLoadGen(env, model, n_clients, submit,
+                            think_ns=think_ns, seed=3)
+    kernel.on_task_complete = lambda task: gen.notify_complete(task.payload)
+    agent.start()
+    kernel.start()
+    gen.start()
+    return env, gen, kernel
+
+
+def test_invalid_args():
+    env = Environment()
+    model = RocksDbModel.fifo_mix()
+    with pytest.raises(ValueError):
+        ClosedLoopLoadGen(env, model, 0, lambda r: None)
+    with pytest.raises(ValueError):
+        ClosedLoopLoadGen(env, model, 1, lambda r: None, think_ns=-1)
+
+
+def test_concurrency_is_bounded():
+    """In-flight requests never exceed the client count."""
+    env, gen, kernel = build_system(n_clients=3, cores=2)
+    env.run(until=10_000_000)
+    in_flight_max = 0
+    # Reconstruct concurrency from request intervals.
+    events = []
+    for r in gen.requests:
+        if r.completed_ns is None:
+            continue
+        events.append((r.arrival_ns, 1))
+        events.append((r.completed_ns, -1))
+    level = 0
+    for _, delta in sorted(events):
+        level += delta
+        in_flight_max = max(in_flight_max, level)
+    assert 0 < in_flight_max <= 3
+
+
+def test_self_limits_under_small_capacity():
+    """One client on one core: throughput = 1 / (latency)."""
+    env, gen, kernel = build_system(n_clients=1, cores=1)
+    env.run(until=20_000_000)
+    completed = [r for r in gen.requests if r.completed_ns is not None]
+    assert completed
+    mean_latency = sum(r.latency_ns for r in completed) / len(completed)
+    rate = gen.throughput(20_000_000)
+    assert rate == pytest.approx(1e9 / mean_latency, rel=0.15)
+
+
+def test_more_clients_more_throughput():
+    rates = []
+    for clients in (1, 4):
+        env, gen, kernel = build_system(n_clients=clients, cores=4)
+        env.run(until=15_000_000)
+        rates.append(gen.throughput(15_000_000))
+    assert rates[1] > 2 * rates[0]
+
+
+def test_think_time_reduces_rate():
+    env, gen, _ = build_system(n_clients=2, think_ns=100_000)
+    env.run(until=15_000_000)
+    busy_rate_env, busy_gen, _ = build_system(n_clients=2, think_ns=0.0)
+    busy_rate_env.run(until=15_000_000)
+    assert gen.throughput(15e6) < busy_gen.throughput(15e6)
+
+
+def test_stop_halts_generation():
+    env, gen, kernel = build_system(n_clients=2)
+    env.run(until=2_000_000)
+    gen.stop()
+    generated = gen.generated
+    env.run(until=6_000_000)
+    assert gen.generated == generated

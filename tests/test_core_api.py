@@ -1,0 +1,256 @@
+"""Tests for the Table 1 API facades and the agent/watchdog machinery."""
+
+import pytest
+
+from repro.core import (
+    Message,
+    Placement,
+    Transaction,
+    TxnOutcome,
+    WaveAgent,
+    WaveChannel,
+    WaveHostApi,
+    WaveNicApi,
+    WaveOpts,
+    Watchdog,
+)
+from repro.hw import HwParams, Machine
+from repro.sim import Environment
+
+
+def make_channel(placement=Placement.NIC, opts=None):
+    env = Environment()
+    machine = Machine(env, HwParams.pcie())
+    channel = WaveChannel(machine, placement, opts or WaveOpts.full())
+    return env, channel
+
+
+def test_send_then_wait_messages_roundtrip():
+    env, channel = make_channel()
+    host, nic = WaveHostApi(channel), WaveNicApi(channel)
+    received = []
+
+    def host_side():
+        yield from host.send_messages([Message("ghost.task_new", 7)])
+
+    def agent_side():
+        messages = yield from nic.wait_messages()
+        received.extend(messages)
+
+    env.process(agent_side())
+    env.process(host_side())
+    env.run(until=1_000_000)
+    assert len(received) == 1
+    assert received[0].kind == "ghost.task_new"
+    assert received[0].payload == 7
+
+
+def test_message_sent_at_stamped():
+    env, channel = make_channel()
+    host = WaveHostApi(channel)
+    message = Message("x")
+
+    def sender():
+        yield env.timeout(123)
+        yield from host.send_messages([message])
+
+    env.process(sender())
+    env.run()
+    assert message.sent_at == 123
+
+
+def test_commit_and_poll_txn():
+    env, channel = make_channel()
+    host, nic = WaveHostApi(channel), WaveNicApi(channel)
+    log = {}
+
+    def agent_side():
+        txn = nic.txn_create(target=2, payload="schedule")
+        delivery = yield from nic.txns_commit([txn], send_msix=True)
+        log["delivery"] = delivery
+
+    def host_side():
+        yield env.timeout(50_000)  # after delivery
+        txn = yield from host.poll_txns(2)
+        log["txn"] = txn
+
+    env.process(agent_side())
+    env.process(host_side())
+    env.run(until=1_000_000)
+    assert log["txn"].payload == "schedule"
+    assert log["delivery"] is not None
+
+
+def test_commit_without_msix():
+    env, channel = make_channel()
+    nic = WaveNicApi(channel)
+    log = {}
+
+    def agent_side():
+        txn = nic.txn_create(target=0, payload="rpc")
+        delivery = yield from nic.txns_commit([txn], send_msix=False)
+        log["delivery"] = delivery
+
+    env.process(agent_side())
+    env.run()
+    assert log["delivery"] is None
+    assert channel.machine.nic.msix_sent == 0
+
+
+def test_outcome_roundtrip():
+    env, channel = make_channel()
+    host, nic = WaveHostApi(channel), WaveNicApi(channel)
+    log = {}
+
+    def host_side():
+        txn = Transaction(target=1, payload="p")
+        txn.outcome = TxnOutcome.COMMITTED
+        yield from host.set_txns_outcomes([txn])
+        log["sent_id"] = txn.txn_id
+
+    def agent_side():
+        while "outcomes" not in log:
+            outcomes = yield from nic.poll_txns_outcomes()
+            if outcomes:
+                log["outcomes"] = outcomes
+                return
+            yield env.timeout(1_000)
+
+    env.process(host_side())
+    env.process(agent_side())
+    env.run(until=10_000_000)
+    assert log["outcomes"] == [(log["sent_id"], 1, TxnOutcome.COMMITTED)]
+
+
+def test_poll_messages_nonblocking_empty():
+    env, channel = make_channel()
+    nic = WaveNicApi(channel)
+    log = {}
+
+    def agent_side():
+        messages = yield from nic.poll_messages()
+        log["messages"] = messages
+
+    env.process(agent_side())
+    env.run()
+    assert log["messages"] == []
+
+
+class EchoAgent(WaveAgent):
+    """Test agent: one decision per message, targeting the payload."""
+
+    def __init__(self, channel):
+        super().__init__(channel, name="echo")
+        self.seen = []
+
+    def handle_message(self, message):
+        self.seen.append(message.payload)
+        yield from self.compute(self.policy_ns_per_message)
+        txn = self.api.txn_create(target=message.payload, payload="ok")
+        yield from self.api.txns_commit([txn], send_msix=False)
+        self.heartbeat()
+
+
+def test_agent_handles_messages_and_commits():
+    env, channel = make_channel()
+    host = WaveHostApi(channel)
+    agent = EchoAgent(channel)
+    agent.start()
+
+    def host_side():
+        yield from host.send_messages([Message("m", 5), Message("m", 6)])
+        yield env.timeout(100_000)
+
+    env.process(host_side())
+    env.run(until=1_000_000)
+    assert agent.seen == [5, 6]
+    assert agent.decisions_made == 2
+    assert channel.slot(5).occupied
+    assert channel.slot(6).occupied
+
+
+def test_agent_double_start_rejected():
+    env, channel = make_channel()
+    agent = EchoAgent(channel)
+    agent.start()
+    with pytest.raises(RuntimeError):
+        agent.start()
+
+
+def test_agent_kill():
+    env, channel = make_channel()
+    agent = EchoAgent(channel)
+    agent.start()
+
+    def killer():
+        yield env.timeout(1_000)
+        agent.kill("test")
+
+    env.process(killer())
+    env.run(until=1_000_000)
+    assert agent.killed
+    assert not agent.running
+
+
+def test_nic_agent_compute_slower_than_host():
+    env_nic, nic_channel = make_channel(Placement.NIC)
+    env_host, host_channel = make_channel(Placement.HOST)
+    assert nic_channel.agent_compute(1000) > host_channel.agent_compute(1000)
+    assert host_channel.agent_compute(1000) == 1000
+
+
+def test_watchdog_kills_silent_agent():
+    env, channel = make_channel()
+    agent = EchoAgent(channel)
+    agent.start()
+    watchdog = Watchdog(agent, timeout_ns=20_000_000)
+    watchdog.start()
+    env.run(until=100_000_000)
+    assert watchdog.fired
+    assert agent.killed
+
+
+def test_watchdog_spares_active_agent():
+    env, channel = make_channel()
+    host = WaveHostApi(channel)
+    agent = EchoAgent(channel)
+    agent.start()
+    watchdog = Watchdog(agent, timeout_ns=20_000_000)
+    watchdog.start()
+
+    def host_side():
+        for i in range(20):
+            yield from host.send_messages([Message("m", i)])
+            yield env.timeout(5_000_000)  # every 5 ms < 20 ms
+
+    env.process(host_side())
+    env.run(until=100_000_000)
+    assert not watchdog.fired
+    assert agent.running
+
+
+def test_watchdog_on_kill_callback():
+    env, channel = make_channel()
+    agent = EchoAgent(channel)
+    agent.start()
+    fallbacks = []
+    watchdog = Watchdog(agent, timeout_ns=5_000_000,
+                        on_kill=lambda a: fallbacks.append(a.name))
+    watchdog.start()
+    env.run(until=50_000_000)
+    assert fallbacks == ["echo"]
+
+
+def test_watchdog_rejects_bad_timeout():
+    env, channel = make_channel()
+    with pytest.raises(ValueError):
+        Watchdog(EchoAgent(channel), timeout_ns=0)
+
+
+def test_onhost_channel_uses_ipi():
+    env, channel = make_channel(Placement.HOST)
+    send, delivery = channel.notify_host()
+    params = channel.machine.params
+    assert send == params.host_ipi_send
+    assert channel.machine.nic.msix_sent == 0
+    assert channel.notify_receive_cost() == params.host_ipi_receive

@@ -1,0 +1,105 @@
+"""Tests for enclave partitioning (section 6)."""
+
+import pytest
+
+from repro.core import Placement
+from repro.ghost import GhostTask
+from repro.ghost.enclave import Enclave, EnclaveManager
+from repro.hw import HwParams, Machine
+from repro.sched import FifoPolicy
+from repro.sim import Environment
+
+
+def make_machine():
+    env = Environment()
+    return env, Machine(env, HwParams.pcie())
+
+
+def test_enclave_requires_cores():
+    env, machine = make_machine()
+    with pytest.raises(ValueError):
+        Enclave(machine, "empty", [], FifoPolicy, Placement.NIC)
+
+
+def test_per_ccx_partitioning():
+    env, machine = make_machine()
+    manager = EnclaveManager.per_ccx(machine, 2, FifoPolicy)
+    assert len(manager.enclaves) == 2
+    assert manager.enclaves[0].core_ids == list(range(0, 8))
+    assert manager.enclaves[1].core_ids == list(range(8, 16))
+
+
+def test_per_ccx_limit():
+    env, machine = make_machine()
+    with pytest.raises(ValueError):
+        EnclaveManager.per_ccx(machine, 9, FifoPolicy)  # only 8 CCXs
+
+
+def test_disjoint_cores_enforced():
+    env, machine = make_machine()
+    a = Enclave(machine, "a", [0, 1], FifoPolicy, Placement.NIC)
+    b = Enclave(machine, "b", [1, 2], FifoPolicy, Placement.NIC)
+    with pytest.raises(ValueError):
+        EnclaveManager(machine, [a, b])
+
+
+def test_enclaves_complete_work_independently():
+    env, machine = make_machine()
+    manager = EnclaveManager.per_ccx(machine, 2, FifoPolicy, seed=1)
+    manager.start()
+    tasks = [GhostTask(service_ns=10_000) for _ in range(40)]
+
+    def feeder():
+        for task in tasks:
+            yield from manager.submit(task)
+
+    env.process(feeder())
+    env.run(until=20_000_000)
+    assert all(t.done for t in tasks)
+    assert manager.completed == 40
+    # Round-robin spread the load over both enclaves.
+    per_enclave = [e.completed for e in manager.enclaves]
+    assert all(c > 0 for c in per_enclave)
+    assert abs(per_enclave[0] - per_enclave[1]) <= 2
+
+
+def test_isolation_across_enclaves():
+    """A flood into one enclave must not inflate the other's latency."""
+    env, machine = make_machine()
+    manager = EnclaveManager.per_ccx(machine, 2, FifoPolicy, seed=1)
+    quiet, busy = manager.enclaves
+    manager.start()
+    flood = [GhostTask(service_ns=50_000) for _ in range(200)]
+    probes = [GhostTask(service_ns=10_000) for _ in range(10)]
+
+    def flooder():
+        for task in flood:
+            yield from busy.submit(task)
+
+    def prober():
+        for task in probes:
+            yield env.timeout(100_000)
+            yield from quiet.submit(task)
+
+    env.process(flooder())
+    env.process(prober())
+    env.run(until=50_000_000)
+    assert all(t.done for t in probes)
+    # Probe latency stays near the uncontended request time.
+    assert quiet.latency.p99 < 100_000
+    assert busy.latency.p99 > quiet.latency.p99
+
+
+def test_merged_latency():
+    env, machine = make_machine()
+    manager = EnclaveManager.per_ccx(machine, 2, FifoPolicy, seed=1)
+    manager.start()
+    tasks = [GhostTask(service_ns=10_000) for _ in range(10)]
+
+    def feeder():
+        for task in tasks:
+            yield from manager.submit(task)
+
+    env.process(feeder())
+    env.run(until=10_000_000)
+    assert manager.merged_latency().count == 10

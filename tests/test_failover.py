@@ -1,0 +1,151 @@
+"""Tests for agent crash recovery and failover (paper section 6)."""
+
+import random
+
+import pytest
+
+from repro.core import Placement, WaveChannel, WaveOpts
+from repro.ghost import GhostAgent, GhostKernel, GhostTask
+from repro.ghost.failover import FailoverManager, recover_agent
+from repro.ghost.task import TaskState
+from repro.hw import HwParams, Machine
+from repro.sched import FifoPolicy
+from repro.sim import Environment
+
+
+def build(cores=2):
+    env = Environment()
+    machine = Machine(env, HwParams.pcie())
+    channel = WaveChannel(machine, Placement.NIC, WaveOpts.full(), name="f")
+    kernel = GhostKernel(channel, core_ids=list(range(cores)),
+                         rng=random.Random(3))
+    return env, machine, channel, kernel
+
+
+def feed(env, kernel, tasks):
+    def feeder():
+        for task in tasks:
+            yield from kernel.submit(task)
+    env.process(feeder())
+
+
+def test_runnable_snapshot_tracks_live_tasks():
+    env, machine, channel, kernel = build()
+    agent = GhostAgent(channel, FifoPolicy(), kernel.core_ids)
+    agent.start()
+    kernel.start()
+    tasks = [GhostTask(service_ns=50_000) for _ in range(6)]
+    feed(env, kernel, tasks)
+    env.run(until=30_000)  # some queued, none finished
+    snapshot = kernel.runnable_snapshot()
+    assert 0 < len(snapshot) <= 6
+    env.run(until=5_000_000)
+    assert kernel.runnable_snapshot() == []  # all done
+
+
+def test_recover_agent_requeues_and_clears_slots():
+    env, machine, channel, kernel = build()
+    # Simulate a dead predecessor that left a decision staged.
+    from repro.core.txn import Transaction
+    from repro.ghost.messages import SchedDecision
+    orphan = GhostTask(service_ns=10_000)
+    kernel._live_tasks[orphan.tid] = orphan
+    channel.slot(0).stash(Transaction(target=0,
+                                      payload=SchedDecision(orphan)))
+    replacement = GhostAgent(channel, FifoPolicy(), kernel.core_ids)
+    recovered = recover_agent(replacement, kernel)
+    assert recovered == 1
+    assert channel.slot(0).peek_staged() is None
+    assert replacement.policy.runnable_count() == 1
+
+
+def test_recover_running_agent_rejected():
+    env, machine, channel, kernel = build()
+    agent = GhostAgent(channel, FifoPolicy(), kernel.core_ids)
+    agent.start()
+    with pytest.raises(RuntimeError):
+        recover_agent(agent, kernel)
+
+
+def test_failover_completes_stranded_work():
+    """Kill the agent mid-burst: the failover manager must restart one
+    and every task must still complete."""
+    env, machine, channel, kernel = build(cores=2)
+    agent = GhostAgent(channel, FifoPolicy(), kernel.core_ids)
+
+    def make_replacement():
+        return GhostAgent(channel, FifoPolicy(), kernel.core_ids,
+                          name="ghost-agent-v2")
+
+    manager = FailoverManager(kernel, agent, make_replacement,
+                              watchdog_timeout_ns=10_000_000)
+    agent.start()
+    kernel.start()
+    # Long-enough tasks that real work is still queued when the
+    # replacement takes over (~4.6 ms after the crash).
+    tasks = [GhostTask(service_ns=300_000) for _ in range(30)]
+    feed(env, kernel, tasks)
+
+    def killer():
+        yield env.timeout(100_000)  # a few tasks in
+        agent.kill("simulated crash")
+
+    env.process(killer())
+    env.run(until=100_000_000)
+    assert all(t.done for t in tasks), [t.state for t in tasks]
+    # At least the crash-triggered failover happened (idle generations
+    # may be recycled afterwards: >20 ms of silence is a kill, as in
+    # the paper's watchdog policy).
+    assert manager.failovers >= 1
+    assert manager.recovered_tasks > 0
+    assert manager.current is not agent
+
+
+def test_failover_to_onhost_fallback():
+    """Fall back to a vanilla on-host agent when the NIC agent dies --
+    the operator choice section 6 describes."""
+    env, machine, channel, kernel = build(cores=2)
+    host_channel = WaveChannel(machine, Placement.HOST, WaveOpts.full(),
+                               name="fallback")
+    nic_agent = GhostAgent(channel, FifoPolicy(), kernel.core_ids)
+
+    host_kernel_holder = {}
+
+    def make_fallback():
+        # The fallback runs against an on-host channel; the kernel
+        # re-registers with it (new interrupt routing).
+        fallback_kernel = GhostKernel(host_channel,
+                                      core_ids=kernel.core_ids,
+                                      rng=random.Random(9))
+        host_kernel_holder["kernel"] = fallback_kernel
+        return GhostAgent(host_channel, FifoPolicy(), kernel.core_ids,
+                          name="onhost-fallback")
+
+    manager = FailoverManager(kernel, nic_agent, make_fallback,
+                              watchdog_timeout_ns=10_000_000,
+                              rewatch=False)
+    nic_agent.start()
+    kernel.start()
+    env.run(until=60_000_000)  # silence: the watchdog fires
+    assert manager.failovers == 1
+    assert manager.current.name == "onhost-fallback"
+    assert manager.current.channel.placement is Placement.HOST
+
+
+def test_repeated_failovers():
+    env, machine, channel, kernel = build(cores=1)
+    agent = GhostAgent(channel, FifoPolicy(), kernel.core_ids)
+    generation = [0]
+
+    def make_replacement():
+        generation[0] += 1
+        return GhostAgent(channel, FifoPolicy(), kernel.core_ids,
+                          name=f"agent-gen{generation[0]}")
+
+    manager = FailoverManager(kernel, agent, make_replacement,
+                              watchdog_timeout_ns=5_000_000)
+    agent.start()
+    kernel.start()
+    # No work ever arrives: every generation is silent and gets killed.
+    env.run(until=80_000_000)
+    assert manager.failovers >= 2

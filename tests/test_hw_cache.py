@@ -1,0 +1,127 @@
+"""Tests for the WC buffer and the WT MMIO cache (paper section 5.3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw import HwParams, HostMmioCache, WriteCombiningBuffer
+from repro.hw.cache import line_of
+
+
+@pytest.fixture
+def params():
+    return HwParams.pcie()
+
+
+def test_line_of():
+    assert line_of(0) == 0
+    assert line_of(63) == 0
+    assert line_of(64) == 1
+    assert line_of(130) == 2
+
+
+class TestWriteCombining:
+    def test_writes_are_cheap(self, params):
+        buf = WriteCombiningBuffer(params)
+        cost = buf.write(8)
+        assert cost == 8 * params.wc_buffered_write
+        assert cost < params.mmio_write_uc * 8  # cheaper than UC writes
+
+    def test_flush_costs_one_burst(self, params):
+        buf = WriteCombiningBuffer(params)
+        buf.write(16)
+        assert buf.flush() == params.wc_flush
+        assert buf.pending_words == 0
+
+    def test_empty_flush_is_free(self, params):
+        buf = WriteCombiningBuffer(params)
+        assert buf.flush() == 0.0
+
+    def test_negative_words_rejected(self, params):
+        with pytest.raises(ValueError):
+            WriteCombiningBuffer(params).write(-1)
+
+    def test_batching_beats_uncached(self, params):
+        """The whole point of WC: a batch costs less than per-word UC."""
+        buf = WriteCombiningBuffer(params)
+        batched = buf.write(8) + buf.flush()
+        uncached = 8 * params.mmio_write_uc
+        assert batched < uncached
+
+
+class TestHostMmioCache:
+    def test_first_read_misses(self, params):
+        cache = HostMmioCache(params)
+        assert cache.read(0, now=0.0) == params.mmio_read_uc
+        assert cache.misses == 1
+
+    def test_same_line_read_hits(self, params):
+        cache = HostMmioCache(params)
+        cache.read(0, now=0.0)
+        # Reads within the same 64B line are cache hits (section 5.3.2).
+        for offset in (8, 16, 56):
+            assert cache.read(offset, now=100.0) == params.cache_hit
+        assert cache.hits == 3
+
+    def test_next_line_misses(self, params):
+        cache = HostMmioCache(params)
+        cache.read(0, now=0.0)
+        assert cache.read(64, now=100.0) == params.mmio_read_uc
+
+    def test_clflush_forces_refetch(self, params):
+        """The software coherence protocol: flush stale decisions."""
+        cache = HostMmioCache(params)
+        cache.read(0, now=0.0)
+        assert cache.clflush(0) == params.clflush
+        assert cache.read(8, now=100.0) == params.mmio_read_uc
+
+    def test_prefetch_hides_latency_fully(self, params):
+        cache = HostMmioCache(params)
+        cache.prefetch(0, now=0.0)
+        # Read after the fill completed: pure hit.
+        cost = cache.read(0, now=params.mmio_read_uc + 10)
+        assert cost == params.cache_hit
+
+    def test_prefetch_partially_hides_latency(self, params):
+        cache = HostMmioCache(params)
+        cache.prefetch(0, now=0.0)
+        # Read 200ns in: pays only the remaining 550ns (+hit).
+        cost = cache.read(0, now=200.0)
+        assert cost == pytest.approx(params.mmio_read_uc - 200 + params.cache_hit)
+
+    def test_prefetch_resident_line_is_noop(self, params):
+        cache = HostMmioCache(params)
+        cache.read(0, now=0.0)
+        assert cache.prefetch(0, now=10.0) == params.prefetch_issue
+        assert cache.read(8, now=20.0) == params.cache_hit
+
+    def test_is_resident(self, params):
+        cache = HostMmioCache(params)
+        assert not cache.is_resident(0)
+        cache.read(0, now=0.0)
+        assert cache.is_resident(0)
+        cache.clflush(0)
+        assert not cache.is_resident(0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=4096), min_size=1,
+                    max_size=50))
+    def test_read_cost_bounded(self, addrs):
+        """Every read costs between a cache hit and a full roundtrip."""
+        params = HwParams.pcie()
+        cache = HostMmioCache(params)
+        now = 0.0
+        for addr in addrs:
+            cost = cache.read(addr, now)
+            assert params.cache_hit <= cost <= params.mmio_read_uc
+            now += cost
+
+    @given(st.lists(st.integers(min_value=0, max_value=1024), min_size=2,
+                    max_size=30))
+    def test_repeat_read_always_hits(self, addrs):
+        params = HwParams.pcie()
+        cache = HostMmioCache(params)
+        now = 0.0
+        for addr in addrs:
+            now += cache.read(addr, now)
+        # Second pass with no invalidations: all hits.
+        for addr in addrs:
+            assert cache.read(addr, now) == params.cache_hit

@@ -1,0 +1,169 @@
+"""Tests for host CPU topology, C-states, ticks, and turbo."""
+
+import pytest
+
+from repro.hw import HwParams, Machine, TurboGovernor
+from repro.hw.cpu import HostCpu, Socket
+from repro.sim import Environment
+
+
+@pytest.fixture
+def params():
+    return HwParams.pcie()
+
+
+def make_socket(params):
+    env = Environment()
+    return env, Socket(env, 0, params)
+
+
+def test_topology_counts(params):
+    env = Environment()
+    cpu = HostCpu(env, params)
+    assert len(cpu.sockets) == 2
+    assert len(cpu.cores) == 128
+    assert len(cpu.sockets[0].ccxs) == 8
+    assert all(len(ccx.cores) == 8 for ccx in cpu.sockets[0].ccxs)
+
+
+def test_core_ids_globally_unique(params):
+    env = Environment()
+    cpu = HostCpu(env, params)
+    ids = [c.id for c in cpu.cores]
+    assert len(set(ids)) == len(ids)
+
+
+def test_turbo_curve_monotone_decreasing():
+    governor = TurboGovernor(HwParams.pcie())
+    freqs = [governor.frequency(n) for n in range(1, 65)]
+    assert freqs == sorted(freqs, reverse=True)
+    assert freqs[0] == 3.5
+    assert freqs[-1] == 3.2
+
+
+def test_turbo_cap():
+    governor = TurboGovernor(HwParams.pcie(), max_ghz=2.5)
+    assert governor.frequency(1) == 2.5
+    assert governor.frequency(64) == 2.5
+
+
+def test_turbo_clamps_out_of_range():
+    governor = TurboGovernor(HwParams.pcie())
+    assert governor.frequency(0) == governor.frequency(1)
+    assert governor.frequency(500) == governor.frequency(64)
+
+
+def test_idle_cores_enter_deep_sleep(params):
+    env, socket = make_socket(params)
+    assert socket.awake_cores == 64
+    env.run(until=params.deep_sleep_entry * 3)
+    assert socket.awake_cores == 0
+    # With everything asleep the governor reports peak frequency for
+    # whoever wakes next.
+    assert socket.current_ghz() == 3.5
+
+
+def test_busy_core_stays_awake(params):
+    env, socket = make_socket(params)
+    socket.cores[0].thread_started()
+    env.run(until=params.deep_sleep_entry * 3)
+    assert socket.awake_cores == 1
+    assert not socket.cores[0].deep_sleep
+
+
+def test_frequency_rises_as_cores_sleep(params):
+    env, socket = make_socket(params)
+    socket.cores[0].thread_started()
+    assert socket.current_ghz() == pytest.approx(3.2)
+    env.run(until=params.deep_sleep_entry * 3)
+    assert socket.current_ghz() == pytest.approx(3.5)
+
+
+def test_ticks_prevent_deep_sleep(params):
+    env = Environment()
+    cpu = HostCpu(env, params)
+    socket = cpu.sockets[0]
+    cpu.start_ticks(socket)
+    env.run(until=params.deep_sleep_entry * 5)
+    # Ticks arrive every 1ms < 2ms deep-sleep residency: nobody sleeps.
+    assert socket.awake_cores == 64
+    assert socket.current_ghz() == pytest.approx(3.2)
+
+
+def test_tick_overhead_accrues(params):
+    env = Environment()
+    cpu = HostCpu(env, params)
+    socket = cpu.sockets[0]
+    cpu.start_ticks(socket)
+    env.run(until=10 * params.tick_period)
+    core = socket.cores[0]
+    assert core.tick_time == pytest.approx(10 * params.tick_cost)
+    # The fitted 1.7% of Fig 5.
+    assert core.tick_time / env.now == pytest.approx(0.017, rel=0.01)
+
+
+def test_woken_core_rearms_sleep(params):
+    env, socket = make_socket(params)
+    core = socket.cores[0]
+
+    def driver():
+        yield env.timeout(params.deep_sleep_entry * 2)
+        assert core.deep_sleep
+        core.poke()
+        assert not core.deep_sleep
+
+    env.process(driver())
+    env.run(until=params.deep_sleep_entry * 5)
+    # After the poke and more idle time, it sleeps again.
+    assert core.deep_sleep
+
+
+def test_smt_factor(params):
+    env, socket = make_socket(params)
+    core = socket.cores[0]
+    assert core.smt_factor == 1.0
+    core.thread_started()
+    assert core.smt_factor == 1.0
+    core.thread_started()
+    assert core.smt_factor == params.smt_efficiency
+    core.thread_stopped()
+    assert core.smt_factor == 1.0
+
+
+def test_thread_stop_underflow_raises(params):
+    env, socket = make_socket(params)
+    with pytest.raises(RuntimeError):
+        socket.cores[0].thread_stopped()
+
+
+def test_machine_assembly():
+    env = Environment()
+    machine = Machine.default(env)
+    assert machine.nic.cores == 16
+    assert machine.nic.ghz == 3.0
+    assert len(machine.host.cores) == 128
+    assert not machine.params.coherent
+
+
+def test_machine_upi_preset():
+    env = Environment()
+    machine = Machine.upi(env, nic_ghz=2.5)
+    assert machine.params.coherent
+    assert machine.nic.ghz == 2.5
+
+
+def test_nic_compute_handicap():
+    env = Environment()
+    machine = Machine.default(env)
+    # ARM@3GHz with handicap 2.08: 1000ns of host work takes ~2080ns.
+    assert machine.nic.compute_time(1000.0) == pytest.approx(2080.0)
+
+
+def test_nic_msix():
+    env = Environment()
+    machine = Machine.default(env)
+    send_cost, delivery = machine.nic.raise_msix(via_ioctl=True)
+    assert send_cost == 340.0
+    env.run(until=delivery)
+    handler_start = env.now + machine.interconnect.msix_receive()
+    assert handler_start == pytest.approx(1600.0)

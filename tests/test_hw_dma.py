@@ -1,0 +1,78 @@
+"""Tests for the DMA engine model."""
+
+import pytest
+
+from repro.hw import DmaEngine, HwParams
+from repro.sim import Environment
+
+
+@pytest.fixture
+def engine():
+    return DmaEngine(Environment(), HwParams.pcie())
+
+
+def test_setup_cost_is_doorbell_writes(engine):
+    params = engine.params
+    assert engine.setup_cost() == \
+        params.dma_setup_writes * params.mmio_write_uc
+
+
+def test_duration_scales_with_size(engine):
+    small = engine.transfer_duration(64)
+    large = engine.transfer_duration(1 << 20)
+    assert large > small
+    # Streaming term: 1 MiB at the configured bandwidth.
+    expected = engine.params.dma_base_latency \
+        + (1 << 20) / engine.params.dma_bandwidth
+    assert large == pytest.approx(expected)
+
+
+def test_zero_bytes_still_pays_base_latency(engine):
+    assert engine.transfer_duration(0) == engine.params.dma_base_latency
+
+
+def test_negative_size_rejected(engine):
+    with pytest.raises(ValueError):
+        engine.transfer_duration(-1)
+
+
+def test_transfer_event_fires_at_completion():
+    env = Environment()
+    engine = DmaEngine(env, HwParams.pcie())
+    done = []
+
+    def proc():
+        completion = engine.transfer(2200)  # 900 + 2200/22 = 1000ns
+        yield completion
+        done.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert done == [pytest.approx(1000.0)]
+    assert engine.transfers == 1
+    assert engine.bytes_moved == 2200
+
+
+def test_batched_transfer_single_base_latency():
+    env = Environment()
+    engine = DmaEngine(env, HwParams.pcie())
+    sizes = [1000, 2000, 3000]
+
+    def proc():
+        yield engine.transfer_batched(sizes)
+
+    env.process(proc())
+    env.run()
+    expected = engine.params.dma_base_latency \
+        + sum(sizes) / engine.params.dma_bandwidth
+    assert env.now == pytest.approx(expected)
+    assert engine.bytes_moved == sum(sizes)
+
+
+def test_paper_anchor_full_address_space_in_about_1ms():
+    """Section 7.4.2: transferring the PTE harvest for the whole
+    address space takes ~1 ms (the dma_bandwidth fit)."""
+    engine = DmaEngine(Environment(), HwParams.pcie())
+    harvest_bytes = 409_600 * 48  # batches x BYTES_PER_BATCH
+    duration_ms = engine.transfer_duration(harvest_bytes) / 1e6
+    assert 0.5 < duration_ms < 1.5

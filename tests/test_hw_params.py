@@ -1,0 +1,65 @@
+"""Tests for hardware parameters and Table 2 primitives."""
+
+import pytest
+
+from repro.hw import HwParams, Interconnect, PteType
+
+
+def test_table2_values_are_paper_values():
+    params = HwParams.pcie()
+    assert params.mmio_read_uc == 750.0
+    assert params.mmio_write_uc == 50.0
+    assert params.msix_send_reg == 70.0
+    assert params.msix_send_ioctl == 340.0
+    assert params.msix_receive == 350.0
+    assert params.msix_e2e == 1600.0
+
+
+def test_interconnect_exposes_primitives():
+    link = Interconnect(HwParams.pcie())
+    assert link.mmio_read() == 750.0
+    assert link.mmio_write() == 50.0
+    assert link.msix_send(via_ioctl=True) == 340.0
+    assert link.msix_send(via_ioctl=False) == 70.0
+    assert link.msix_receive() == 350.0
+    assert link.msix_e2e() == 1600.0
+
+
+def test_msix_propagation_consistent_with_e2e():
+    link = Interconnect(HwParams.pcie())
+    assert (link.msix_send(True) + link.msix_propagation()
+            + link.msix_receive()) == pytest.approx(link.msix_e2e())
+    assert link.msix_propagation() > 0
+
+
+def test_upi_is_coherent_and_faster():
+    pcie, upi = HwParams.pcie(), HwParams.upi()
+    assert not pcie.coherent
+    assert upi.coherent
+    assert upi.mmio_read_uc < pcie.mmio_read_uc
+    assert upi.mmio_write_visibility < pcie.mmio_write_visibility
+
+
+def test_upi_frequency_cap():
+    upi = HwParams.upi(nic_ghz=2.0)
+    assert upi.nic_ghz == 2.0
+    assert upi.nic_compute_handicap == 1.0  # same x86 cores
+
+
+def test_host_topology_matches_testbed():
+    params = HwParams.pcie()
+    assert params.host_sockets == 2
+    assert params.cores_per_socket == 64
+    assert params.threads_per_core == 2
+    assert params.cores_per_ccx == 8
+    assert params.nic_cores == 16
+
+
+def test_pte_semantics():
+    assert PteType.WB.caches_reads
+    assert PteType.WT.caches_reads
+    assert not PteType.WC.caches_reads
+    assert not PteType.UC.caches_reads
+    assert PteType.WC.buffers_writes
+    assert not PteType.UC.buffers_writes
+    assert not PteType.WT.buffers_writes

@@ -1,0 +1,123 @@
+"""Tests for memory-access paths (the section 5.3 cost semantics)."""
+
+import pytest
+
+from repro.hw import HwParams, Interconnect, PteType
+from repro.hw.paths import HostMmioPath, HostSharedMemPath, LocalUcPath, LocalWbPath
+
+
+@pytest.fixture
+def params():
+    return HwParams.pcie()
+
+
+@pytest.fixture
+def link(params):
+    return Interconnect(params)
+
+
+def test_wb_host_mapping_of_device_memory_rejected(params):
+    """Non-coherent PCIe cannot map device memory WB (section 5.3.1)."""
+    with pytest.raises(ValueError):
+        HostMmioPath(params, PteType.WB)
+
+
+def test_wb_legal_on_coherent_interconnect():
+    upi = HwParams.upi()
+    path = HostMmioPath(upi, PteType.WB)
+    assert path.read_words(0, 1, now=0.0) <= upi.mmio_read_uc
+
+
+def test_uc_reads_pay_full_roundtrip(link, params):
+    path = link.host_path(PteType.UC)
+    assert path.read_words(0, 6, now=0.0) == 6 * params.mmio_read_uc
+
+
+def test_wt_reads_amortize_across_line(link, params):
+    """Section 5.3.2: one 750ns fill, then hits within the line."""
+    path = link.host_path(PteType.WT)
+    # 6 words = 48 bytes, one cache line.
+    cost = path.read_words(0, 6, now=0.0)
+    assert cost == pytest.approx(params.mmio_read_uc + 5 * params.cache_hit)
+    assert cost < 2 * params.mmio_read_uc
+
+
+def test_wt_second_line_pays_again(link, params):
+    path = link.host_path(PteType.WT)
+    cost = path.read_words(0, 16, now=0.0)  # 128B = 2 lines
+    assert cost == pytest.approx(2 * params.mmio_read_uc + 14 * params.cache_hit)
+
+
+def test_wc_writes_batch(link, params):
+    path = link.host_path(PteType.WC)
+    write = path.write_words(0, 8)
+    flush = path.flush_writes()
+    assert write + flush < 8 * params.mmio_write_uc
+
+
+def test_wc_reads_are_uncached(link, params):
+    path = link.host_path(PteType.WC)
+    assert path.read_words(0, 2, now=0.0) == 2 * params.mmio_read_uc
+
+
+def test_uc_writes_per_word(link, params):
+    path = link.host_path(PteType.UC)
+    assert path.write_words(0, 4) == 4 * params.mmio_write_uc
+    assert path.flush_writes() == 0.0
+
+
+def test_invalidate_then_reread(link, params):
+    path = link.host_path(PteType.WT)
+    path.read_words(0, 6, now=0.0)
+    path.invalidate(0, 6)
+    cost = path.read_words(0, 6, now=1000.0)
+    assert cost == pytest.approx(params.mmio_read_uc + 5 * params.cache_hit)
+
+
+def test_prefetch_hides_wt_read(link, params):
+    path = link.host_path(PteType.WT)
+    path.prefetch(0, 6, now=0.0)
+    cost = path.read_words(0, 6, now=params.mmio_read_uc + 1)
+    assert cost == pytest.approx(6 * params.cache_hit)
+
+
+def test_prefetch_noop_on_uncached_paths(link):
+    assert link.host_path(PteType.UC).prefetch(0, 6, now=0.0) == 0.0
+    assert link.host_path(PteType.WC).prefetch(0, 6, now=0.0) == 0.0
+
+
+def test_nic_local_paths(link, params):
+    uc = link.nic_path(PteType.UC)
+    wb = link.nic_path(PteType.WB)
+    assert isinstance(uc, LocalUcPath)
+    assert isinstance(wb, LocalWbPath)
+    assert uc.read_words(0, 6, now=0.0) == 6 * params.nic_access_uc
+    assert wb.write_words(0, 6) == 6 * params.nic_access_wb
+    assert wb.write_words(0, 6) < uc.write_words(0, 6)
+
+
+def test_host_shared_memory_is_cheap(link, params):
+    shm = link.host_local_path()
+    assert isinstance(shm, HostSharedMemPath)
+    assert shm.read_words(0, 6, now=0.0) == 6 * params.host_shm_access
+    assert shm.visibility_delay() == 0.0
+
+
+def test_mmio_path_visibility_delay(link, params):
+    path = link.host_path(PteType.WC)
+    assert path.visibility_delay() == params.mmio_write_visibility
+
+
+def test_table3_row1_baseline_emerges(link, params):
+    """Agent opens a 5-word decision (4 payload + flag) with UC mapping
+    + ioctl MSI-X: the Table 3 value of ~1013 ns must emerge."""
+    path = link.nic_path(PteType.UC)
+    cost = path.write_words(0, 5) + link.msix_send(via_ioctl=True)
+    assert cost == pytest.approx(1013, rel=0.01)
+
+
+def test_table3_row1_optimized_emerges(link, params):
+    """Same with WB NIC PTEs: ~426 ns (section 5.3.1)."""
+    path = link.nic_path(PteType.WB)
+    cost = path.write_words(0, 5) + link.msix_send(via_ioctl=True)
+    assert cost == pytest.approx(426, rel=0.01)

@@ -1,0 +1,50 @@
+"""Additional turbo-governor and C-state edge cases."""
+
+import pytest
+
+from repro.hw import HwParams, TurboGovernor
+from repro.hw.cpu import Socket
+from repro.sim import Environment
+
+
+def test_empty_curve_rejected():
+    with pytest.raises(ValueError):
+        TurboGovernor(HwParams.pcie(), curve=())
+
+
+def test_unsorted_curve_rejected():
+    with pytest.raises(ValueError):
+        TurboGovernor(HwParams.pcie(), curve=((8, 3.5), (1, 3.2)))
+
+
+def test_single_anchor_curve():
+    governor = TurboGovernor(HwParams.pcie(), curve=((1, 3.0),))
+    assert governor.frequency(1) == 3.0
+    assert governor.frequency(64) == 3.0
+
+
+def test_interpolation_between_anchors():
+    governor = TurboGovernor(HwParams.pcie(),
+                             curve=((1, 4.0), (3, 2.0)))
+    assert governor.frequency(2) == pytest.approx(3.0)
+
+
+def test_socket_frequency_integral_reflects_sleep_transitions():
+    env = Environment()
+    params = HwParams.pcie()
+    socket = Socket(env, 0, params)
+    socket.cores[0].thread_started()
+    start_integral = socket.freq.integral
+    env.run(until=10 * params.deep_sleep_entry)
+    # All idle cores asleep: frequency rose from floor to peak, so the
+    # integral over the window lies strictly between the two bounds.
+    elapsed = env.now
+    integral = socket.freq.integral - start_integral
+    assert 3.2 * elapsed < integral < 3.5 * elapsed
+
+
+def test_smt_both_siblings_total_throughput_exceeds_one():
+    params = HwParams.pcie()
+    # Two busy siblings: 2 * 0.55 = 1.1x a single thread (the usual
+    # SMT win).
+    assert 2 * params.smt_efficiency > 1.0

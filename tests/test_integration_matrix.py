@@ -1,0 +1,87 @@
+"""Smoke matrix: every (placement, opts, policy) combination works."""
+
+import random
+
+import pytest
+
+from repro.core import Placement, WaveChannel, WaveOpts
+from repro.ghost import GhostAgent, GhostKernel, GhostTask
+from repro.hw import HwParams, Machine
+from repro.sched import (
+    CfsLikePolicy,
+    FifoPolicy,
+    MultiQueueShinjukuPolicy,
+    ShinjukuPolicy,
+)
+from repro.sim import Environment
+from repro.workloads import Request, RequestKind
+
+POLICIES = [FifoPolicy, ShinjukuPolicy, MultiQueueShinjukuPolicy,
+            CfsLikePolicy]
+OPTS = [WaveOpts.baseline(), WaveOpts.nic_wb_only(), WaveOpts.wc_wt(),
+        WaveOpts.full()]
+
+
+@pytest.mark.parametrize("policy_factory", POLICIES)
+@pytest.mark.parametrize("placement", [Placement.HOST, Placement.NIC])
+def test_policy_placement_matrix(policy_factory, placement):
+    env = Environment()
+    machine = Machine(env, HwParams.pcie())
+    channel = WaveChannel(machine, placement, WaveOpts.full(), name="m")
+    kernel = GhostKernel(channel, core_ids=[0, 1], rng=random.Random(1))
+    agent = GhostAgent(channel, policy_factory(), kernel.core_ids)
+    agent.start()
+    kernel.start()
+    tasks = []
+    for i in range(12):
+        request = Request(kind=RequestKind.GET, service_ns=8_000.0,
+                          slo_ns=200_000.0)
+        tasks.append(GhostTask(service_ns=8_000.0, payload=request))
+
+    def feeder():
+        for task in tasks:
+            yield from kernel.submit(task)
+
+    env.process(feeder())
+    env.run(until=20_000_000)
+    assert kernel.completed == 12, (policy_factory, placement)
+
+
+@pytest.mark.parametrize("opts", OPTS, ids=lambda o: repr(o)[:40])
+def test_opts_matrix_offloaded(opts):
+    env = Environment()
+    machine = Machine(env, HwParams.pcie())
+    channel = WaveChannel(machine, Placement.NIC, opts, name="m")
+    kernel = GhostKernel(channel, core_ids=[0], rng=random.Random(1))
+    agent = GhostAgent(channel, FifoPolicy(), kernel.core_ids)
+    agent.start()
+    kernel.start()
+    tasks = [GhostTask(service_ns=10_000.0) for _ in range(8)]
+
+    def feeder():
+        for task in tasks:
+            yield from kernel.submit(task)
+
+    env.process(feeder())
+    env.run(until=20_000_000)
+    assert kernel.completed == 8, opts
+
+
+@pytest.mark.parametrize("params_factory",
+                         [HwParams.pcie, HwParams.cxl, HwParams.upi])
+def test_interconnect_matrix(params_factory):
+    env = Environment()
+    machine = Machine(env, params_factory())
+    channel = WaveChannel(machine, Placement.NIC, WaveOpts.full(), name="m")
+    kernel = GhostKernel(channel, core_ids=[0], rng=random.Random(1))
+    agent = GhostAgent(channel, FifoPolicy(), kernel.core_ids)
+    agent.start()
+    kernel.start()
+    task = GhostTask(service_ns=10_000.0)
+
+    def feeder():
+        yield from kernel.submit(task)
+
+    env.process(feeder())
+    env.run(until=5_000_000)
+    assert task.done, params_factory

@@ -1,0 +1,112 @@
+"""Tests for memory-agent chunking and SOL phase-change adaptivity."""
+
+import numpy as np
+import pytest
+
+from repro.hw import HwParams, Machine
+from repro.mem import (
+    AddressSpace,
+    Chunking,
+    MemAgentPlacement,
+    MemoryAgent,
+    SCAN_PERIODS_NS,
+    SolPolicy,
+    TieredMemory,
+)
+from repro.sim import Environment
+
+SMALL = 2 * 1024 ** 3
+
+
+def build_agent(contiguous_hot, chunking, n_cores=8):
+    env = Environment()
+    machine = Machine(env, HwParams.pcie())
+    space = AddressSpace(total_bytes=SMALL, contiguous_hot=contiguous_hot,
+                         seed=1)
+    tiers = TieredMemory(space)
+    agent = MemoryAgent(env, machine, space, tiers,
+                        MemAgentPlacement.HOST, n_cores,
+                        chunking=chunking)
+    return env, agent
+
+
+def steady_duration(env, agent):
+    agent.start()
+    env.run(until=8e9)
+    return agent.steady_state_duration_ms()
+
+
+def test_contiguous_hot_layout():
+    space = AddressSpace(total_bytes=SMALL, contiguous_hot=True)
+    assert list(space.hot_ids) == list(range(len(space.hot_ids)))
+
+
+def test_range_chunking_suffers_on_clustered_hot_set():
+    """A contiguous hot region lands on few range-chunk workers: the
+    slowest chunk gates the parallel phase (section 6's chunking
+    advice). Compared at the parallel-work level, where the serial
+    floor of a scaled-down space doesn't mask it."""
+    env_r, range_agent = build_agent(contiguous_hot=True,
+                                     chunking=Chunking.RANGE)
+    env_i, inter_agent = build_agent(contiguous_hot=True,
+                                     chunking=Chunking.INTERLEAVED)
+    # Converge the scan frequencies, then compare a steady iteration.
+    for agent in (range_agent, inter_agent):
+        now = 0.0
+        iteration = None
+        for _ in range(6):
+            now += 600e6
+            result = agent.policy.iterate(now)
+            iteration = result or iteration
+        agent._steady = iteration
+    slow = range_agent.parallel_work_ns(range_agent._steady)
+    fast = inter_agent.parallel_work_ns(inter_agent._steady)
+    assert slow > fast * 1.5
+
+
+def test_chunking_equivalent_on_scattered_hot_set():
+    """With a randomly scattered hot set, both chunkings balance."""
+    env_r, range_agent = build_agent(contiguous_hot=False,
+                                     chunking=Chunking.RANGE)
+    env_i, inter_agent = build_agent(contiguous_hot=False,
+                                     chunking=Chunking.INTERLEAVED)
+    a = steady_duration(env_r, range_agent)
+    b = steady_duration(env_i, inter_agent)
+    assert a == pytest.approx(b, rel=0.15)
+
+
+def test_parallel_work_balanced_case():
+    env, agent = build_agent(contiguous_hot=False,
+                             chunking=Chunking.INTERLEAVED, n_cores=4)
+    iteration = agent.policy.iterate(now_ns=600e6)  # scans everything
+    max_chunk = agent.parallel_work_ns(iteration)
+    assert max_chunk == pytest.approx(iteration.classify_ns / 4, rel=0.02)
+
+
+def test_sol_adapts_to_phase_change():
+    """When the hot set moves, the decaying Beta posterior re-learns:
+    newly hot batches speed up, previously hot ones cool down."""
+    space = AddressSpace(total_bytes=SMALL, seed=2)
+    policy = SolPolicy(space, seed=2)
+    now = 0.0
+    for _ in range(8):
+        now += SCAN_PERIODS_NS[0]
+        policy.iterate(now)
+    old_hot = space.hot_ids.copy()
+    assert np.median(policy.period_idx[old_hot]) == 0
+
+    # Phase change: the hot set moves to previously cold batches.
+    cold = np.setdiff1d(np.arange(space.n_batches),
+                        np.concatenate([space.hot_ids, space.warm_ids]))
+    new_hot = cold[:len(old_hot)]
+    space.rates[old_hot] = 0.001
+    space.rates[new_hot] = 50.0
+
+    for _ in range(40):
+        now += SCAN_PERIODS_NS[0]
+        policy.iterate(now)
+    # New hot set discovered (fast scanning), old one demoted at least
+    # two rungs (full decay to the slowest rung takes many more epochs
+    # because demoted batches are scanned -- and decayed -- less often).
+    assert np.median(policy.period_idx[new_hot]) <= 1
+    assert np.median(policy.period_idx[old_hot]) >= 2

@@ -1,0 +1,61 @@
+"""Tests for the section 7.4 experiment harness."""
+
+import pytest
+
+from repro.mem.experiment import (
+    FootprintResult,
+    SolDurationRow,
+    run_footprint,
+    run_sol_agent,
+    sol_duration_table,
+)
+from repro.mem import MemAgentPlacement
+
+SMALL = 4 * 1024 ** 3  # 4 GiB keeps each run subsecond
+
+
+def test_duration_table_shape():
+    rows = sol_duration_table(core_counts=[1, 4], total_bytes=SMALL)
+    assert [r.n_cores for r in rows] == [1, 4]
+    for row in rows:
+        assert row.wave_ms > row.onhost_ms > 0
+
+
+def test_duration_decreases_sublinearly():
+    rows = sol_duration_table(core_counts=[1, 16], total_bytes=SMALL)
+    speedup = rows[0].onhost_ms / rows[1].onhost_ms
+    assert 1.0 < speedup < 16.0
+
+
+def test_run_sol_agent_records_iterations():
+    agent = run_sol_agent(MemAgentPlacement.NIC, 4, total_bytes=SMALL,
+                          epochs=0.5)
+    assert len(agent.records) >= 3
+    # The first iteration scans the whole space, later ones a subset.
+    assert agent.records[0].batches_scanned \
+        > agent.records[-1].batches_scanned
+    # Offloaded: DMA time appears in the breakdown.
+    assert agent.records[0].dma_in_ns > 0
+
+
+def test_onhost_agent_has_no_dma():
+    agent = run_sol_agent(MemAgentPlacement.HOST, 4, total_bytes=SMALL,
+                          epochs=0.5)
+    assert all(r.dma_in_ns == 0 for r in agent.records)
+
+
+def test_footprint_result_fields():
+    result = run_footprint(epochs=2, total_bytes=SMALL, get_samples=20_000)
+    assert isinstance(result, FootprintResult)
+    assert result.end_gib < result.start_gib
+    assert 50 < result.reduction_pct < 95
+    assert result.hit_fast_fraction > 0.98
+    assert result.get_p50_us < result.get_p99_us
+    assert result.epochs == 2
+
+
+def test_footprint_tracks_hot_set():
+    result = run_footprint(epochs=3, total_bytes=SMALL, get_samples=10_000)
+    # Converges to roughly the ground-truth working set (some warm/cold
+    # stragglers keep it a bit above).
+    assert result.end_gib == pytest.approx(result.hot_gib, rel=0.35)

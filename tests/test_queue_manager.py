@@ -1,0 +1,111 @@
+"""Tests for the Table 1 queue-management API."""
+
+import pytest
+
+from repro.core.queues_api import QueueManager
+from repro.hw import HwParams, Machine
+from repro.queues import DmaQueue, FloemRing, QueueType
+from repro.sim import Environment
+
+
+@pytest.fixture
+def manager():
+    env = Environment()
+    machine = Machine(env, HwParams.pcie())
+    return QueueManager(machine)
+
+
+def test_create_mmio_queue_directions(manager):
+    to_agent = manager.create_queue("msg", QueueType.MMIO,
+                                    host_produces=True)
+    to_host = manager.create_queue("dec", QueueType.MMIO,
+                                   host_produces=False)
+    assert isinstance(to_agent.ring, FloemRing)
+    assert isinstance(to_host.ring, FloemRing)
+    # Host->NIC: the NIC consumes locally (cheap); NIC->host: the host
+    # consumes over PCIe (a line fill on first touch).
+    assert to_agent.ring.consumer_path.read_words(0, 1, 0.0) \
+        < to_host.ring.consumer_path.read_words(0, 1, 0.0)
+    assert to_agent.queue_id != to_host.queue_id
+
+
+def test_nic_to_host_mmio_queue_needs_software_coherence(manager):
+    handle = manager.create_queue("dec", QueueType.MMIO,
+                                  host_produces=False)
+    assert not handle.ring.coherent  # WT-cached consumer over PCIe
+
+
+def test_create_dma_queues(manager):
+    sync = manager.create_queue("bulk-s", QueueType.DMA_SYNC,
+                                host_produces=True)
+    async_q = manager.create_queue("bulk-a", QueueType.DMA_ASYNC,
+                                   host_produces=True)
+    assert isinstance(sync.ring, DmaQueue) and sync.ring.sync
+    assert isinstance(async_q.ring, DmaQueue) and not async_q.ring.sync
+
+
+def test_destroy_queue(manager):
+    handle = manager.create_queue("q", QueueType.MMIO, host_produces=True)
+    assert len(manager) == 1
+    manager.destroy_queue(handle)
+    assert len(manager) == 0
+    with pytest.raises(ValueError):
+        manager.destroy_queue(handle)
+
+
+def test_assoc_queue_with(manager):
+    handle = manager.create_queue("q", QueueType.MMIO, host_produces=True)
+    manager.assoc_queue_with(handle, agent_name="sched", host_core=3)
+    assert manager.queues_for_agent("sched") == [handle]
+    assert manager.queues_for_core(3) == [handle]
+    assert manager.queues_for_core(4) == []
+
+
+def test_assoc_destroyed_queue_rejected(manager):
+    handle = manager.create_queue("q", QueueType.MMIO, host_produces=True)
+    manager.destroy_queue(handle)
+    with pytest.raises(ValueError):
+        manager.assoc_queue_with(handle, "sched", 0)
+
+
+def test_set_queue_type_switches_transport(manager):
+    handle = manager.create_queue("q", QueueType.MMIO, host_produces=True)
+    manager.assoc_queue_with(handle, "mem", 7)
+    replacement = manager.set_queue_type(handle, QueueType.DMA_ASYNC)
+    assert replacement.queue_type is QueueType.DMA_ASYNC
+    assert isinstance(replacement.ring, DmaQueue)
+    assert replacement.binding.agent_name == "mem"
+    assert handle.destroyed
+    assert manager.queues_for_agent("mem") == [replacement]
+
+
+def test_set_queue_type_same_type_noop(manager):
+    handle = manager.create_queue("q", QueueType.MMIO, host_produces=True)
+    assert manager.set_queue_type(handle, QueueType.MMIO) is handle
+    assert not handle.destroyed
+
+
+def test_set_queue_type_requires_drained(manager):
+    handle = manager.create_queue("q", QueueType.MMIO, host_produces=True)
+    handle.ring.produce(["undelivered"])
+    with pytest.raises(ValueError, match="drain"):
+        manager.set_queue_type(handle, QueueType.DMA_SYNC)
+
+
+def test_queue_roundtrip_through_manager(manager):
+    env = manager.env
+    handle = manager.create_queue("q", QueueType.MMIO, host_produces=True)
+    got = []
+
+    def producer():
+        yield env.timeout(handle.ring.produce(["hello"]))
+
+    def consumer():
+        yield handle.ring.wait_nonempty()
+        items, cost = handle.ring.consume()
+        got.extend(items)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run(until=1_000_000)
+    assert got == ["hello"]

@@ -1,0 +1,86 @@
+"""Tests for the hybrid MMIO/DMA payload transport (section 4.3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw import HwParams, Machine
+from repro.rpc.hybrid import (
+    HybridPayloadPath,
+    crossover_bytes,
+    dma_payload_cost,
+    mmio_payload_cost,
+)
+from repro.sim import Environment
+
+
+@pytest.fixture
+def params():
+    return HwParams.pcie()
+
+
+def test_tiny_payload_mmio_wins_latency(params):
+    mmio = mmio_payload_cost(params, 64)
+    dma = dma_payload_cost(params, 64)
+    assert mmio.latency_ns < dma.latency_ns
+
+
+def test_large_payload_dma_wins_everything(params):
+    mmio = mmio_payload_cost(params, 64 * 1024)
+    dma = dma_payload_cost(params, 64 * 1024)
+    assert dma.latency_ns < mmio.latency_ns
+    assert dma.cpu_ns < mmio.cpu_ns
+
+
+def test_crossover_is_sub_kb(params):
+    """The modeled crossover justifies the paper's choice: small RPCs
+    (the section 7.3 workload) belong on MMIO."""
+    latency_cross = crossover_bytes(params, "latency")
+    cpu_cross = crossover_bytes(params, "cpu")
+    assert 64 < latency_cross < 1024
+    # DMA's CPU advantage kicks in no later than its latency advantage.
+    assert cpu_cross <= latency_cross
+
+
+def test_negative_size_rejected(params):
+    with pytest.raises(ValueError):
+        mmio_payload_cost(params, -1)
+    with pytest.raises(ValueError):
+        dma_payload_cost(params, -1)
+
+
+def test_invalid_metric(params):
+    with pytest.raises(ValueError):
+        crossover_bytes(params, "power")
+
+
+def test_hybrid_path_picks_by_threshold():
+    machine = Machine(Environment(), HwParams.pcie())
+    path = HybridPayloadPath(machine, threshold_bytes=512)
+    small = path.fetch_cost(256)
+    large = path.fetch_cost(4096)
+    assert small.transport == "mmio"
+    assert large.transport == "dma"
+    assert path.mmio_used == 1 and path.dma_used == 1
+
+
+def test_hybrid_invalid_threshold():
+    machine = Machine(Environment(), HwParams.pcie())
+    with pytest.raises(ValueError):
+        HybridPayloadPath(machine, threshold_bytes=0)
+
+
+@given(st.integers(min_value=0, max_value=1 << 20))
+def test_costs_monotone_in_size(nbytes):
+    params = HwParams.pcie()
+    bigger = nbytes + 4096
+    assert mmio_payload_cost(params, bigger).cpu_ns \
+        >= mmio_payload_cost(params, nbytes).cpu_ns
+    assert dma_payload_cost(params, bigger).latency_ns \
+        >= dma_payload_cost(params, nbytes).latency_ns
+
+
+def test_coherent_interconnect_shifts_crossover():
+    """CXL's cheaper line fills push the MMIO/DMA crossover later."""
+    pcie_cross = crossover_bytes(HwParams.pcie(), "latency")
+    cxl_cross = crossover_bytes(HwParams.cxl(), "latency")
+    assert cxl_cross >= pcie_cross

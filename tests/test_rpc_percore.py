@@ -1,0 +1,118 @@
+"""Tests for the per-core RPC data path (section 4.3)."""
+
+import pytest
+
+from repro.core.queues_api import QueueManager
+from repro.hw import HwParams, Machine
+from repro.rpc.percore import (
+    PerCoreRpcChannel,
+    RpcSteeringAgent,
+    RpcWorker,
+)
+from repro.sim import Environment
+from repro.workloads import Request, RequestKind
+
+
+def build(n_cores=2):
+    env = Environment()
+    machine = Machine(env, HwParams.pcie())
+    manager = QueueManager(machine)
+    channels = [PerCoreRpcChannel(manager, core) for core in range(n_cores)]
+    agent = RpcSteeringAgent(env, machine, channels)
+    workers = [RpcWorker(env, ch, handler_ns=lambda r: r.service_ns)
+               for ch in channels]
+    return env, machine, manager, channels, agent, workers
+
+
+def make_request(service=10_000.0):
+    return Request(kind=RequestKind.GET, service_ns=service)
+
+
+def test_channel_creates_bound_queue_pair():
+    env, machine, manager, channels, agent, workers = build(1)
+    assert len(manager) == 2
+    assert len(manager.queues_for_core(0)) == 2
+
+
+def test_agent_requires_channels():
+    env = Environment()
+    machine = Machine(env, HwParams.pcie())
+    with pytest.raises(ValueError):
+        RpcSteeringAgent(env, machine, [])
+
+
+def test_end_to_end_rpc_roundtrip():
+    env, machine, manager, channels, agent, workers = build(2)
+    agent.start_response_collector()
+    for worker in workers:
+        worker.start()
+    requests = [make_request() for _ in range(10)]
+
+    def feeder():
+        for request in requests:
+            request.arrival_ns = env.now
+            yield from agent.deliver(request)
+
+    env.process(feeder())
+    env.run(until=10_000_000)
+    assert all(r.completed_ns is not None for r in requests)
+    assert agent.responses == 10
+    assert sum(w.handled for w in workers) == 10
+    # No MSI-X anywhere: this is the polled data path.
+    assert machine.nic.msix_sent == 0
+
+
+def test_steering_balances_load():
+    env, machine, manager, channels, agent, workers = build(4)
+    agent.start_response_collector()
+    for worker in workers:
+        worker.start()
+
+    def feeder():
+        for _ in range(40):
+            yield from agent.deliver(make_request(service=50_000))
+
+    env.process(feeder())
+    env.run(until=20_000_000)
+    handled = [w.handled for w in workers]
+    assert sum(handled) == 40
+    assert max(handled) - min(handled) <= 4  # roughly even
+
+
+def test_latency_reflects_polling_path():
+    env, machine, manager, channels, agent, workers = build(1)
+    agent.start_response_collector()
+    workers[0].start()
+    request = make_request()
+
+    def feeder():
+        yield env.timeout(5_000)  # let the worker reach its poll loop
+        request.arrival_ns = env.now
+        yield from agent.deliver(request)
+
+    env.process(feeder())
+    env.run(until=5_000_000)
+    latency = request.completed_ns - request.arrival_ns
+    # Service + steering + queue hops + at most a few poll gaps.
+    assert 10_000 < latency < 40_000
+
+
+def test_workers_stop_cleanly():
+    env, machine, manager, channels, agent, workers = build(1)
+    agent.start_response_collector()
+    workers[0].start()
+
+    def stopper():
+        yield env.timeout(100_000)
+        workers[0].stop()
+        agent.stop()
+
+    env.process(stopper())
+    env.run(until=1_000_000)
+    # Both loops terminated; nothing RPC-related remains scheduled
+    # (only the CPU model's C-state bookkeeping).
+    assert not workers[0]._proc.is_alive
+    assert not agent._proc.is_alive
+    polls_after_stop = workers[0].empty_polls
+    env.run(until=5_000_000)
+    assert workers[0].empty_polls == polls_after_stop

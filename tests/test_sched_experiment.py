@@ -1,0 +1,88 @@
+"""Tests for the end-to-end scheduling experiment harness."""
+
+import pytest
+
+from repro.core import Placement, WaveOpts
+from repro.sched import FifoPolicy, ShinjukuPolicy
+from repro.sched.experiment import (
+    SchedPointResult,
+    run_sched_point,
+    saturation_by_backlog,
+    saturation_throughput,
+)
+from repro.workloads import RocksDbModel
+
+
+def quick_point(rate, placement=Placement.NIC, cores=4, **kw):
+    return run_sched_point(placement, WaveOpts.full(), cores, FifoPolicy,
+                           lambda rng: RocksDbModel.fifo_mix(rng), rate,
+                           duration_ns=15_000_000, warmup_ns=3_000_000,
+                           **kw)
+
+
+def test_low_load_achieves_offered_rate():
+    result = quick_point(rate=50_000)
+    assert result.achieved_rate == pytest.approx(50_000, rel=0.2)
+    assert result.failed_txns == 0
+
+
+def test_latency_grows_with_load():
+    low = quick_point(rate=50_000)
+    high = quick_point(rate=230_000)  # near 4-core capacity
+    assert high.get_p99_ns > low.get_p99_ns
+
+
+def test_overload_caps_throughput():
+    over = quick_point(rate=600_000)  # far beyond 4 cores
+    assert over.achieved_rate < 400_000
+
+
+def test_completion_cost_reduces_capacity():
+    plain = quick_point(rate=300_000)
+    taxed = quick_point(rate=300_000, completion_cost_ns=5_000.0)
+    assert taxed.achieved_rate < plain.achieved_rate
+
+
+def _point(rate, p99, backlog=0):
+    return SchedPointResult(
+        offered_rate=rate, achieved_rate=rate, get_p50_ns=p99 / 2,
+        get_p99_ns=p99, get_mean_ns=p99 / 2, completed=100,
+        preemptions=0, prestages=0, dispatches=0, failed_txns=0,
+        end_backlog=backlog)
+
+
+def test_saturation_throughput_picks_knee():
+    results = [_point(100, 50_000), _point(200, 90_000),
+               _point(300, 400_000)]
+    assert saturation_throughput(results, 300_000) == 200
+
+
+def test_saturation_no_eligible_points():
+    assert saturation_throughput([_point(100, 1e9)], 300_000) == 0.0
+
+
+def test_saturation_by_backlog():
+    results = [_point(100, 1, backlog=0), _point(200, 1, backlog=2),
+               _point(300, 1, backlog=500)]
+    assert saturation_by_backlog(results, backlog_limit=10) == 200
+
+
+def test_seed_reproducibility():
+    a = quick_point(rate=100_000, seed=5)
+    b = quick_point(rate=100_000, seed=5)
+    assert a.achieved_rate == b.achieved_rate
+    assert a.get_p99_ns == b.get_p99_ns
+
+
+def test_different_seeds_differ():
+    a = quick_point(rate=100_000, seed=5)
+    b = quick_point(rate=100_000, seed=6)
+    assert a.get_p99_ns != b.get_p99_ns
+
+
+def test_shinjuku_point_counts_preemptions():
+    result = run_sched_point(
+        Placement.NIC, WaveOpts.full(), 4, ShinjukuPolicy,
+        lambda rng: RocksDbModel.shinjuku_mix(rng), 50_000,
+        duration_ns=30_000_000, warmup_ns=5_000_000)
+    assert result.preemptions > 0

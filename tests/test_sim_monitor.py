@@ -1,0 +1,108 @@
+"""Tests for measurement helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import Environment, LatencyStats, TimeWeightedValue, Counter
+
+
+def test_latency_empty_is_nan():
+    stats = LatencyStats()
+    assert math.isnan(stats.mean)
+    assert math.isnan(stats.percentile(99))
+
+
+def test_latency_single_sample():
+    stats = LatencyStats()
+    stats.record(42.0)
+    assert stats.p50 == 42.0
+    assert stats.p99 == 42.0
+    assert stats.mean == 42.0
+    assert stats.count == 1
+
+
+def test_latency_percentiles_nearest_rank():
+    stats = LatencyStats()
+    for v in range(1, 101):  # 1..100
+        stats.record(float(v))
+    assert stats.percentile(50) == 50.0
+    assert stats.percentile(99) == 99.0
+    assert stats.percentile(100) == 100.0
+    assert stats.percentile(1) == 1.0
+
+
+def test_latency_percentile_out_of_range():
+    stats = LatencyStats()
+    stats.record(1.0)
+    with pytest.raises(ValueError):
+        stats.percentile(101)
+
+
+def test_latency_min_max():
+    stats = LatencyStats()
+    for v in (5.0, 1.0, 9.0):
+        stats.record(v)
+    assert stats.min == 1.0
+    assert stats.max == 9.0
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e9), min_size=1))
+def test_latency_percentile_bounds(samples):
+    """Any percentile lies between min and max of the samples."""
+    stats = LatencyStats()
+    for s in samples:
+        stats.record(s)
+    for p in (0, 25, 50, 90, 99, 100):
+        value = stats.percentile(p)
+        assert stats.min <= value <= stats.max
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e9), min_size=2))
+def test_latency_percentile_monotone(samples):
+    stats = LatencyStats()
+    for s in samples:
+        stats.record(s)
+    values = [stats.percentile(p) for p in (10, 50, 90, 99)]
+    assert values == sorted(values)
+
+
+def test_time_weighted_integral():
+    env = Environment()
+    tracked = TimeWeightedValue(env)
+
+    def proc():
+        tracked.set(2.0)
+        yield env.timeout(10)
+        tracked.set(5.0)
+        yield env.timeout(10)
+        tracked.set(0.0)
+
+    env.process(proc())
+    env.run(until=30)
+    # 2*10 + 5*10 + 0*10 = 70
+    assert tracked.integral == 70.0
+    assert tracked.time_average() == pytest.approx(70.0 / 30.0)
+
+
+def test_time_weighted_add():
+    env = Environment()
+    tracked = TimeWeightedValue(env, initial=1.0)
+
+    def proc():
+        yield env.timeout(5)
+        tracked.add(3.0)
+
+    env.process(proc())
+    env.run(until=10)
+    assert tracked.value == 4.0
+    assert tracked.integral == pytest.approx(1 * 5 + 4 * 5)
+
+
+def test_counter():
+    c = Counter("events")
+    c.incr()
+    c.incr(4)
+    assert int(c) == 5
+    assert "events" in repr(c)

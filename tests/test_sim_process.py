@@ -1,0 +1,244 @@
+"""Tests for process lifecycle and interruption (preemption support)."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt
+
+
+def test_process_is_alive_until_done():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(10)
+
+    p = env.process(proc())
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1)
+        return "done"
+
+    p = env.process(proc())
+    env.run()
+    assert p.ok and p.value == "done"
+
+
+def test_interrupt_preempts_timeout():
+    env = Environment()
+    trace = []
+
+    def victim():
+        try:
+            yield env.timeout(1000)
+            trace.append("completed")
+        except Interrupt as interrupt:
+            trace.append(("interrupted", env.now, interrupt.cause))
+
+    def preemptor(target):
+        yield env.timeout(30)
+        target.interrupt("time-slice")
+
+    p = env.process(victim())
+    env.process(preemptor(p))
+    env.run()
+    assert trace == [("interrupted", 30, "time-slice")]
+
+
+def test_interrupt_then_continue():
+    env = Environment()
+    trace = []
+
+    def victim():
+        remaining = 100
+        start = env.now
+        try:
+            yield env.timeout(remaining)
+        except Interrupt:
+            remaining -= env.now - start
+            trace.append(("resuming", env.now, remaining))
+            yield env.timeout(remaining)
+        trace.append(("done", env.now))
+
+    def preemptor(target):
+        yield env.timeout(40)
+        target.interrupt()
+
+    p = env.process(victim())
+    env.process(preemptor(p))
+    env.run()
+    assert trace == [("resuming", 40, 60), ("done", 100)]
+
+
+def test_interrupt_dead_process_raises():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1)
+
+    p = env.process(quick())
+    env.run()
+    with pytest.raises(RuntimeError):
+        p.interrupt()
+
+
+def test_self_interrupt_rejected():
+    env = Environment()
+
+    def proc():
+        env.active_process.interrupt()
+        yield env.timeout(1)
+
+    env.process(proc())
+    with pytest.raises(RuntimeError, match="cannot interrupt itself"):
+        env.run()
+
+
+def test_uncaught_interrupt_fails_process():
+    env = Environment()
+
+    def victim():
+        yield env.timeout(100)
+
+    def preemptor(target):
+        yield env.timeout(10)
+        target.interrupt("kill")
+
+    p = env.process(victim())
+    env.process(preemptor(p))
+    with pytest.raises(Interrupt):
+        env.run()
+    assert p.triggered and not p.ok
+
+
+def test_interrupt_does_not_consume_target_event():
+    """The event a process was waiting on still fires for other waiters."""
+    env = Environment()
+    shared = env.event()
+    trace = []
+
+    def victim():
+        try:
+            yield shared
+        except Interrupt:
+            trace.append("victim-interrupted")
+
+    def other():
+        value = yield shared
+        trace.append(("other", value))
+
+    def driver(target):
+        yield env.timeout(5)
+        target.interrupt()
+        yield env.timeout(5)
+        shared.succeed("v")
+
+    p = env.process(victim())
+    env.process(other())
+    env.process(driver(p))
+    env.run()
+    assert trace == ["victim-interrupted", ("other", "v")]
+
+
+def test_interrupt_cause_accessible():
+    env = Environment()
+    causes = []
+
+    def victim():
+        try:
+            yield env.timeout(100)
+        except Interrupt as interrupt:
+            causes.append(interrupt.cause)
+
+    def driver(target):
+        yield env.timeout(1)
+        target.interrupt({"reason": "watchdog"})
+
+    p = env.process(victim())
+    env.process(driver(p))
+    env.run()
+    assert causes == [{"reason": "watchdog"}]
+
+
+def test_interrupt_races_with_completion():
+    """Interrupt delivered at the same instant the process finishes is a no-op."""
+    env = Environment()
+    trace = []
+
+    def victim():
+        yield env.timeout(10)
+        trace.append("finished")
+
+    def driver(target):
+        yield env.timeout(10)
+        if target.is_alive:
+            target.interrupt()
+
+    p = env.process(victim())
+    env.process(driver(p))
+    env.run()
+    # Either order is internally consistent; the process must not crash.
+    assert p.triggered
+
+
+def test_exception_in_process_propagates_to_waiter():
+    env = Environment()
+    caught = []
+
+    def failer():
+        yield env.timeout(1)
+        raise ValueError("inner failure")
+
+    def waiter():
+        try:
+            yield env.process(failer())
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(waiter())
+    env.run()
+    assert caught == ["inner failure"]
+
+
+def test_immediate_process_runs_at_current_time():
+    env = Environment()
+    trace = []
+
+    def immediate():
+        trace.append(env.now)
+        yield env.timeout(0)
+        trace.append(env.now)
+
+    env.process(immediate())
+    env.run()
+    assert trace == [0, 0]
+
+
+def test_many_sequential_interrupts():
+    env = Environment()
+    hits = []
+
+    def victim():
+        while True:
+            try:
+                yield env.timeout(10_000)
+                return
+            except Interrupt as interrupt:
+                hits.append(interrupt.cause)
+                if len(hits) >= 3:
+                    return
+
+    def driver(target):
+        for i in range(3):
+            yield env.timeout(10)
+            target.interrupt(i)
+
+    p = env.process(victim())
+    env.process(driver(p))
+    env.run()
+    assert hits == [0, 1, 2]

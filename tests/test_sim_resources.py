@@ -1,0 +1,181 @@
+"""Tests for Store and Resource."""
+
+import pytest
+
+from repro.sim import Environment, Store, Resource
+
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def proc():
+        yield store.put("x")
+        item = yield store.get()
+        got.append(item)
+
+    env.process(proc())
+    env.run()
+    assert got == ["x"]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer():
+        yield env.timeout(50)
+        yield store.put("late")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [(50, "late")]
+
+
+def test_store_fifo_ordering():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer():
+        for i in range(5):
+            yield store.put(i)
+
+    def consumer():
+        for _ in range(5):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_store_capacity_blocks_putter():
+    env = Environment()
+    store = Store(env, capacity=1)
+    trace = []
+
+    def producer():
+        yield store.put("a")
+        trace.append(("put-a", env.now))
+        yield store.put("b")
+        trace.append(("put-b", env.now))
+
+    def consumer():
+        yield env.timeout(100)
+        item = yield store.get()
+        trace.append(("got", item, env.now))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert ("put-a", 0) in trace
+    assert ("got", "a", 100) in trace
+    assert ("put-b", 100) in trace
+
+
+def test_store_multiple_getters_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    def producer():
+        yield env.timeout(10)
+        yield store.put(1)
+        yield store.put(2)
+
+    env.process(consumer("first"))
+    env.process(consumer("second"))
+    env.process(producer())
+    env.run()
+    assert got == [("first", 1), ("second", 2)]
+
+
+def test_store_len():
+    env = Environment()
+    store = Store(env)
+
+    def proc():
+        yield store.put("a")
+        yield store.put("b")
+
+    env.process(proc())
+    env.run()
+    assert len(store) == 2
+
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_resource_mutual_exclusion():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    trace = []
+
+    def worker(tag, hold):
+        yield resource.acquire()
+        trace.append((tag, "in", env.now))
+        yield env.timeout(hold)
+        trace.append((tag, "out", env.now))
+        resource.release()
+
+    env.process(worker("a", 100))
+    env.process(worker("b", 100))
+    env.run()
+    assert trace == [
+        ("a", "in", 0), ("a", "out", 100),
+        ("b", "in", 100), ("b", "out", 200),
+    ]
+
+
+def test_resource_capacity_two_runs_concurrently():
+    env = Environment()
+    resource = Resource(env, capacity=2)
+    done = []
+
+    def worker(tag):
+        yield resource.acquire()
+        yield env.timeout(100)
+        resource.release()
+        done.append((tag, env.now))
+
+    for tag in ("a", "b"):
+        env.process(worker(tag))
+    env.run()
+    assert done == [("a", 100), ("b", 100)]
+
+
+def test_resource_release_without_acquire():
+    env = Environment()
+    resource = Resource(env)
+    with pytest.raises(RuntimeError):
+        resource.release()
+
+
+def test_resource_available():
+    env = Environment()
+    resource = Resource(env, capacity=3)
+
+    def proc():
+        yield resource.acquire()
+        yield resource.acquire()
+
+    env.process(proc())
+    env.run()
+    assert resource.available == 1

@@ -1,0 +1,109 @@
+"""Tests for the tracing subsystem."""
+
+import random
+
+import pytest
+
+from repro.core import Placement, WaveChannel, WaveOpts
+from repro.ghost import GhostAgent, GhostKernel, GhostTask
+from repro.hw import HwParams, Machine
+from repro.sched import FifoPolicy, ShinjukuPolicy
+from repro.sim import Environment
+from repro.sim.trace import Tracer
+
+
+def test_record_and_filter():
+    env = Environment()
+    tracer = Tracer(env)
+
+    def proc():
+        tracer.record("alpha", x=1)
+        yield env.timeout(100)
+        tracer.record("beta", x=2)
+        tracer.record("alpha", x=3)
+
+    env.process(proc())
+    env.run()
+    assert tracer.recorded == 3
+    assert tracer.count("alpha") == 2
+    assert [e.fields["x"] for e in tracer.events("alpha")] == [1, 3]
+    assert tracer.events(where=lambda e: e.when_ns >= 100)[0].kind == "beta"
+
+
+def test_kind_whitelist():
+    env = Environment()
+    tracer = Tracer(env, kinds={"keep"})
+    tracer.record("keep")
+    tracer.record("drop")
+    assert tracer.count("keep") == 1
+    assert tracer.count("drop") == 0
+    assert tracer.dropped == 1
+
+
+def test_capacity_ring():
+    env = Environment()
+    tracer = Tracer(env, capacity=3)
+    for i in range(5):
+        tracer.record("e", i=i)
+    assert [e.fields["i"] for e in tracer.events()] == [2, 3, 4]
+    assert tracer.dropped == 2
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        Tracer(Environment(), capacity=0)
+
+
+def test_timeline_render():
+    env = Environment()
+    tracer = Tracer(env)
+    tracer.record("hello", core=1)
+    text = tracer.timeline()
+    assert "hello" in text and "core=1" in text
+
+
+def test_spans_pairing():
+    env = Environment()
+    tracer = Tracer(env)
+
+    def proc():
+        tracer.record("start", tid=1)
+        yield env.timeout(50)
+        tracer.record("start", tid=2)
+        yield env.timeout(50)
+        tracer.record("end", tid=1)
+        yield env.timeout(25)
+        tracer.record("end", tid=2)
+
+    env.process(proc())
+    env.run()
+    assert sorted(tracer.spans("start", "end", key="tid")) == [75, 100]
+
+
+def test_kernel_emits_protocol_events():
+    env = Environment()
+    machine = Machine(env, HwParams.pcie())
+    channel = WaveChannel(machine, Placement.NIC, WaveOpts.full(), name="t")
+    tracer = Tracer(env)
+    kernel = GhostKernel(channel, core_ids=[0], rng=random.Random(1),
+                         tracer=tracer)
+    agent = GhostAgent(channel, ShinjukuPolicy(30_000), [0])
+    agent.start()
+    kernel.start()
+    tasks = [GhostTask(service_ns=100_000)] + \
+        [GhostTask(service_ns=5_000) for _ in range(3)]
+
+    def feeder():
+        for task in tasks:
+            yield from kernel.submit(task)
+
+    env.process(feeder())
+    env.run(until=5_000_000)
+    assert tracer.count("task_submit") == 4
+    assert tracer.count("task_complete") == 4
+    assert tracer.count("task_preempt") >= 1
+    assert tracer.count("core_park") >= 1
+    # Submit->complete spans cover each task's life.
+    spans = tracer.spans("task_submit", "task_complete", key="tid")
+    assert len(spans) == 4
+    assert all(s > 0 for s in spans)

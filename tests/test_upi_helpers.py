@@ -1,0 +1,52 @@
+"""Tests for the UPI emulation helpers (section 7.3.3)."""
+
+import pytest
+
+from repro.hw import HwParams
+from repro.rpc.upi import SLO_NS, saturation_interpolated
+from repro.sched.experiment import SchedPointResult
+
+
+def _point(rate, p99):
+    return SchedPointResult(
+        offered_rate=rate, achieved_rate=rate, get_p50_ns=p99 / 2,
+        get_p99_ns=p99, get_mean_ns=p99 / 2, completed=1,
+        preemptions=0, prestages=0, dispatches=0, failed_txns=0)
+
+
+def test_interpolation_between_points():
+    points = [_point(100, 100_000), _point(200, 500_000)]
+    # Crosses 300k p99 halfway between the two rates.
+    sat = saturation_interpolated(points, slo_ns=300_000)
+    assert sat == pytest.approx(150)
+
+
+def test_interpolation_all_under_slo():
+    points = [_point(100, 1_000), _point(200, 2_000)]
+    assert saturation_interpolated(points, slo_ns=300_000) == 200
+
+
+def test_interpolation_first_point_over():
+    points = [_point(100, 1e9)]
+    assert saturation_interpolated(points, slo_ns=300_000) == 100
+
+
+def test_interpolation_empty():
+    assert saturation_interpolated([], slo_ns=SLO_NS) == 0.0
+
+
+def test_upi_access_cost_scales_with_frequency_cap():
+    fast = HwParams.upi(nic_ghz=3.0)
+    slow = HwParams.upi(nic_ghz=2.0)
+    assert slow.nic_access_wb > fast.nic_access_wb
+    # 80% proportionality: slower than linear-in-frequency would give.
+    linear = fast.nic_access_wb * 3.0 / 2.0
+    assert slow.nic_access_wb < linear
+
+
+def test_upi_compute_references_host_clock():
+    from repro.hw import Machine
+    from repro.sim import Environment
+    machine = Machine(Environment(), HwParams.upi(nic_ghz=2.0))
+    # 3.5 GHz host work on a 2.0 GHz capped core: 1.75x slower.
+    assert machine.nic.compute_time(1000.0) == pytest.approx(1750.0)

@@ -1,0 +1,109 @@
+"""Tests for VM scheduling and the Fig 5 experiment."""
+
+import pytest
+
+from repro.hw import HwParams, Machine
+from repro.sched.vm import VmCoreScheduler, VmHost, Vcpu
+from repro.sched.vm_experiment import improvement_no_ticks, run_vm_point
+from repro.sim import Environment
+
+
+def make_host():
+    env = Environment()
+    machine = Machine(env, HwParams.pcie())
+    return env, VmHost(env, machine.host.sockets[0])
+
+
+def test_vmhost_builds_two_vms():
+    env, host = make_host()
+    assert len(host.vms) == 2
+    assert all(len(vm) == 128 for vm in host.vms)
+    assert len(host.schedulers) == 128  # one per logical thread
+
+
+def test_overcommit_limit():
+    env = Environment()
+    machine = Machine(env, HwParams.pcie())
+    with pytest.raises(ValueError):
+        VmHost(env, machine.host.sockets[0], n_vms=5, vcpus_per_vm=128)
+
+
+def test_activation_placement():
+    env, host = make_host()
+    active = host.activate(4)
+    assert len(active) == 4
+    assert all(v.busy for v in active)
+    # Alternates between the two VMs.
+    assert {v.vm_id for v in active} == {0, 1}
+    # Distinct logical threads (no two share a thread index).
+    assert len({(v.vm_id, v.vcpu_id) for v in active}) == 4
+
+
+def test_activation_cap():
+    env, host = make_host()
+    with pytest.raises(ValueError):
+        host.activate(200)
+
+
+def test_single_busy_vcpu_runs_continuously():
+    env, host = make_host()
+    host.start()
+    [vcpu] = host.activate(1)
+    env.run(until=50_000_000)
+    # Runtime accrues (within a preemption-granularity pickup delay).
+    assert vcpu.runtime_ns > 40_000_000
+
+
+def test_coresident_busy_vcpus_share_fairly():
+    env, host = make_host()
+    host.start()
+    # Make both VMs' vCPU 0 busy: they co-reside on logical thread 0.
+    a = host.vms[0][0]
+    b = host.vms[1][0]
+    a.busy = b.busy = True
+    env.run(until=100_000_000)
+    total = a.runtime_ns + b.runtime_ns
+    assert total > 80_000_000
+    assert abs(a.runtime_ns - b.runtime_ns) / total < 0.2
+    assert host.schedulers[0].switches > 0
+
+
+def test_idle_vcpus_consume_nothing():
+    env, host = make_host()
+    host.start()
+    env.run(until=20_000_000)
+    assert all(v.runtime_ns == 0 for vm in host.vms for v in vm)
+
+
+class TestFig5:
+    def test_improvement_at_one_vcpu(self):
+        imp = improvement_no_ticks(1, measure_ns=30_000_000)
+        assert imp == pytest.approx(11.2, abs=1.0)
+
+    def test_improvement_at_31(self):
+        imp = improvement_no_ticks(31, measure_ns=30_000_000)
+        assert imp == pytest.approx(9.7, abs=1.0)
+
+    def test_improvement_at_128_is_tick_overhead_only(self):
+        imp = improvement_no_ticks(128, measure_ns=30_000_000)
+        assert imp == pytest.approx(1.7, abs=0.5)
+
+    def test_improvement_monotone_nonincreasing(self):
+        imps = [improvement_no_ticks(n, measure_ns=20_000_000)
+                for n in (1, 31, 64)]
+        assert imps == sorted(imps, reverse=True)
+
+    def test_no_ticks_turbo_state(self):
+        result = run_vm_point(1, ticks=False, measure_ns=20_000_000)
+        assert result.awake_cores == 1
+        assert result.frequency_ghz == pytest.approx(3.5)
+
+    def test_ticks_keep_everything_awake(self):
+        result = run_vm_point(1, ticks=True, measure_ns=20_000_000)
+        assert result.awake_cores == 64
+        assert result.frequency_ghz == pytest.approx(3.2)
+
+    def test_total_work_scales_with_vcpus(self):
+        one = run_vm_point(1, ticks=False, measure_ns=20_000_000)
+        eight = run_vm_point(8, ticks=False, measure_ns=20_000_000)
+        assert eight.total_work > 7 * one.total_work
