@@ -3,7 +3,18 @@
 Every benchmark runs its experiment once (``pedantic`` with one round):
 the interesting output is the experiment report and its shape
 assertions, with wall-clock time recorded as a byproduct.
+
+Everything under ``benchmarks/`` is marked ``slow`` and therefore
+opt-in: the default addopts deselect the marker, so run the suite with
+``pytest -m slow benchmarks/``.
 """
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        item.add_marker(pytest.mark.slow)
 
 
 def run_once(benchmark, fn, **kwargs):

@@ -1,0 +1,17 @@
+"""Chaos: recovery under injected faults."""
+
+from conftest import run_once
+
+from repro.bench.faults import PLAN_NAMES, run
+
+
+def test_faults(benchmark):
+    report = run_once(benchmark, run, fast=True)
+    print()
+    print(report.render())
+    rows = report.row_map()
+    assert set(rows) == set(PLAN_NAMES)
+    for plan_name, row in rows.items():
+        completed, submitted = row[2].split("/")
+        assert completed == submitted, \
+            f"{plan_name}: work lost under injected faults ({row[2]})"

@@ -6,6 +6,9 @@ Commands::
     run <experiment>     run one experiment (``--fast`` for CI params)
     all [--fast]         regenerate EXPERIMENTS.md
     info                 print the calibration table
+    chaos                one deterministic fault-injection run
+                         (``--seed N --plan agent-crash``; same seed,
+                         same plan => byte-identical output)
 """
 
 from __future__ import annotations
@@ -31,6 +34,8 @@ EXPERIMENTS = {
                       "Section 7.4.2: SOL's RocksDB effect"),
     "mem-policies": ("repro.bench.mem_policies",
                      "Ablation: SOL vs the CLOCK baseline"),
+    "faults": ("repro.bench.faults",
+               "Chaos: recovery under injected faults"),
 }
 
 
@@ -58,6 +63,13 @@ def cmd_all(fast: bool) -> int:
     return 0
 
 
+def cmd_chaos(plan: str, seed: int, fast: bool) -> int:
+    from repro.bench.faults import ChaosTiming, run_chaos
+    timing = ChaosTiming.fast() if fast else None
+    print(run_chaos(plan, seed=seed, timing=timing).summary())
+    return 0
+
+
 def cmd_info() -> int:
     from repro import __version__
     from repro.hw import HwParams
@@ -81,6 +93,13 @@ def main(argv=None) -> int:
     all_p = sub.add_parser("all", help="regenerate EXPERIMENTS.md")
     all_p.add_argument("--fast", action="store_true")
     sub.add_parser("info", help="print version + calibration table")
+    chaos_p = sub.add_parser(
+        "chaos", help="deterministic fault-injection run")
+    from repro.sim.faults import FAULT_KINDS
+    chaos_p.add_argument("--plan", default="agent-crash",
+                         choices=FAULT_KINDS)
+    chaos_p.add_argument("--seed", type=int, default=42)
+    chaos_p.add_argument("--fast", action="store_true")
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
@@ -90,6 +109,8 @@ def main(argv=None) -> int:
         return cmd_all(args.fast)
     if args.command == "info":
         return cmd_info()
+    if args.command == "chaos":
+        return cmd_chaos(args.plan, args.seed, args.fast)
     parser.print_help()
     return 1
 

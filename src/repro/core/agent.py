@@ -41,6 +41,11 @@ class WaveAgent:
         #: Watchdog heartbeat (section 3.3).
         self.last_decision_at = channel.env.now
         self.killed = False
+        #: A kill interrupt is in flight but not yet delivered. Makes
+        #: :meth:`kill` idempotent within one event-loop step: a
+        #: watchdog firing for an agent that already crashed this step
+        #: must not deliver a second interrupt into the cleanup hook.
+        self.kill_pending = False
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -49,12 +54,20 @@ class WaveAgent:
         if self._proc is not None and self._proc.is_alive:
             raise RuntimeError(f"agent {self.name} already running")
         self.killed = False
+        self.kill_pending = False
         self._proc = self.env.process(self._run(), name=self.name)
         return self._proc
 
     def kill(self, cause: str = "operator") -> None:
-        """KILL_WAVE_AGENT(): stop the agent (watchdog or operator)."""
+        """KILL_WAVE_AGENT(): stop the agent (watchdog or operator).
+
+        Idempotent: once a kill is in flight (or the agent is already
+        dead) further calls are no-ops.
+        """
+        if self.kill_pending:
+            return
         if self._proc is not None and self._proc.is_alive:
+            self.kill_pending = True
             self._proc.interrupt(AgentKilled(cause))
 
     @property
@@ -66,6 +79,7 @@ class WaveAgent:
     def _run(self):
         try:
             while True:
+                yield from self.fault_checkpoint()
                 messages = yield from self.api.wait_messages()
                 for message in messages:
                     yield from self.handle_message(message)
@@ -96,6 +110,20 @@ class WaveAgent:
         yield  # pragma: no cover
 
     # -- helpers ------------------------------------------------------------
+
+    def fault_checkpoint(self):
+        """One fault-injection poll per main-loop iteration.
+
+        A hang plan stalls the agent here (making no decisions, so the
+        watchdog's silence threshold can fire); a crash plan delivers a
+        kill interrupt out-of-band. No-op without an injector attached.
+        """
+        faults = getattr(self.env, "faults", None)
+        if faults is None:
+            return
+        stall = faults.on_agent_checkpoint(self)
+        if stall > 0:
+            yield self.env.timeout(stall)
 
     def compute(self, host_equivalent_ns: float):
         """Charge policy compute, scaled for the agent's placement."""

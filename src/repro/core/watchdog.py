@@ -32,6 +32,8 @@ class Watchdog:
         self.check_period_ns = check_period_ns or timeout_ns / 4
         self.on_kill = on_kill
         self.fired = False
+        #: When the watchdog fired (detection time for recovery stats).
+        self.fired_at: Optional[float] = None
         self._proc: Optional[Process] = None
 
     def start(self) -> Process:
@@ -47,16 +49,22 @@ class Watchdog:
         try:
             while True:
                 yield self.env.timeout(self.check_period_ns)
-                if not self.agent.running:
-                    # The agent died on its own (crash / external kill):
-                    # that is a malfunction too -- trigger recovery.
+                if not self.agent.running or self.agent.kill_pending:
+                    # The agent died on its own -- crash, external kill,
+                    # or a kill delivered earlier in this very event-loop
+                    # step (kill_pending): that is a malfunction too.
+                    # Trigger recovery WITHOUT killing again, so the
+                    # cleanup hook never sees a second interrupt and
+                    # failover fires exactly once.
                     self.fired = True
+                    self.fired_at = self.env.now
                     if self.on_kill is not None:
                         self.on_kill(self.agent)
                     return
                 silent_for = self.env.now - self.agent.last_decision_at
                 if silent_for > self.timeout_ns:
                     self.fired = True
+                    self.fired_at = self.env.now
                     self.agent.kill(cause=f"watchdog: no decision for "
                                           f"{silent_for:.0f} ns")
                     if self.on_kill is not None:

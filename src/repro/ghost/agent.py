@@ -79,6 +79,7 @@ class GhostAgent(WaveAgent):
             if self.policy.runnable_count():
                 yield from self._dispatch(set(self.core_ids))
             while True:
+                yield from self.fault_checkpoint()
                 deadline = self.policy.next_deadline(env.now)
                 wait_event = ring.wait_nonempty()
                 if deadline is not None:

@@ -66,6 +66,17 @@ class FailoverManager:
         self.rewatch = rewatch
         self.failovers = 0
         self.recovered_tasks = 0
+        #: When the watchdog last detected a dead/silent agent.
+        self.last_detected_at: Optional[float] = None
+        #: Every detection timestamp, in order (an idle agent being
+        #: recycled after >timeout of silence also counts, per the
+        #: paper's watchdog policy).
+        self.detections_ns: list = []
+        #: When the last replacement finished pulling state and started.
+        self.last_recovered_at: Optional[float] = None
+        #: Detection -> running-replacement latencies, one per failover.
+        self.recovery_latencies_ns: list = []
+        self._failover_inflight = False
         self.current = agent
         self._watch(agent)
 
@@ -75,14 +86,26 @@ class FailoverManager:
         self.watchdog.start()
 
     def _on_kill(self, dead_agent: GhostAgent) -> None:
+        if self._failover_inflight:
+            # A replacement is already being built (e.g. a crash and a
+            # watchdog firing reported the same generation twice within
+            # one step): one failover is enough.
+            return
+        self._failover_inflight = True
+        self.last_detected_at = self.env.now
+        self.detections_ns.append(self.env.now)
         self.env.process(self._failover(), name="failover")
 
     def _failover(self):
+        detected_at = self.env.now
         yield self.env.timeout(self.failover_delay_ns)
         replacement = self.make_agent()
         self.recovered_tasks += recover_agent(replacement, self.kernel)
         replacement.start()
         self.failovers += 1
         self.current = replacement
+        self.last_recovered_at = self.env.now
+        self.recovery_latencies_ns.append(self.env.now - detected_at)
+        self._failover_inflight = False
         if self.rewatch:
             self._watch(replacement)

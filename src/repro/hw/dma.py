@@ -9,7 +9,7 @@ batching amortizes the setup writes and the base latency).
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 from repro.hw.params import HwParams
 from repro.sim import Environment, Event
@@ -23,16 +23,66 @@ class DmaEngine:
         self.params = params
         self.transfers = 0
         self.bytes_moved = 0
+        #: Injected completion timeouts the engine recovered from.
+        self.timeouts = 0
+        #: Descriptor reissues (one or more per timed-out transfer).
+        self.retries = 0
 
     def setup_cost(self) -> float:
         """CPU cost (producer side) of launching one descriptor batch."""
         return self.params.dma_setup_writes * self.params.mmio_write_uc
 
     def transfer_duration(self, nbytes: int) -> float:
-        """Wire time for ``nbytes``: fixed latency + streaming time."""
+        """Wire time for ``nbytes``: fixed latency + streaming time.
+
+        During a transient interconnect stall (fault injection) the wire
+        portion is inflated by the stall factor.
+        """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
-        return self.params.dma_base_latency + nbytes / self.params.dma_bandwidth
+        duration = (self.params.dma_base_latency
+                    + nbytes / self.params.dma_bandwidth)
+        faults = getattr(self.env, "faults", None)
+        if faults is not None:
+            duration *= faults.interconnect_factor()
+        return duration
+
+    def _retry_penalty(self) -> float:
+        """Extra delay from injected completion timeouts.
+
+        Each lost completion costs one timeout window plus an
+        exponentially backed-off pause before the reissue; after
+        ``dma_max_retries`` reissues the final attempt is forced
+        through, so a transfer always completes in bounded time.
+        """
+        faults = getattr(self.env, "faults", None)
+        if faults is None:
+            return 0.0
+        penalty = 0.0
+        backoff = self.params.dma_retry_backoff_ns
+        attempts = 0
+        while (attempts < self.params.dma_max_retries
+               and faults.on_dma_attempt()):
+            penalty += self.params.dma_timeout_ns + backoff
+            backoff *= 2.0
+            attempts += 1
+            self.timeouts += 1
+            self.retries += 1
+        return penalty
+
+    def launch(self, nbytes: int) -> "Tuple[float, Event]":
+        """Start one transfer; returns ``(duration, completion)``.
+
+        ``duration`` includes any injected retry penalty, and
+        ``completion`` fires exactly ``duration`` ns from now -- one
+        atomic draw, so callers that need both the number and the event
+        (e.g. :class:`~repro.queues.dma.DmaQueue`) see one consistent
+        outcome per descriptor.
+        """
+        self.transfers += 1
+        self.bytes_moved += nbytes
+        duration = self._retry_penalty() + self.transfer_duration(nbytes)
+        return duration, self.env.timeout(duration)
 
     def transfer(self, nbytes: int) -> Event:
         """Start one transfer; the returned event fires at completion.
@@ -44,7 +94,8 @@ class DmaEngine:
         """
         self.transfers += 1
         self.bytes_moved += nbytes
-        return self.env.timeout(self.transfer_duration(nbytes))
+        return self.env.timeout(self._retry_penalty()
+                                + self.transfer_duration(nbytes))
 
     def transfer_batched(self, sizes: List[int]) -> Event:
         """Move several buffers under one descriptor batch.
@@ -55,6 +106,5 @@ class DmaEngine:
         total = sum(sizes)
         self.transfers += 1
         self.bytes_moved += total
-        duration = (self.params.dma_base_latency
-                    + total / self.params.dma_bandwidth)
-        return self.env.timeout(duration)
+        return self.env.timeout(self._retry_penalty()
+                                + self.transfer_duration(total))

@@ -28,6 +28,9 @@ class SmartNic:
         self.cores = params.nic_cores
         self.ghz = params.nic_ghz
         self.msix_sent = 0
+        #: Deliveries swallowed by fault injection (the sender still
+        #: pays its send cost; only the handler-side event never fires).
+        self.msix_lost = 0
 
     def compute_time(self, host_equivalent_ns: float) -> float:
         """Time for NIC ARM cores to do work that takes
@@ -48,8 +51,17 @@ class SmartNic:
         Returns ``(sender_cost, delivery)``: the agent burns
         ``sender_cost`` ns of CPU; ``delivery`` fires when the host
         core's handler can start (the host then pays ``msix_receive``).
+
+        Under fault injection a delivery may be lost: the sender still
+        pays its cost, but ``delivery`` never fires -- the parked core's
+        periodic idle re-check is then the only wakeup path, exactly the
+        backstop section 5.4 prescribes.
         """
         self.msix_sent += 1
         send = self.interconnect.msix_send(via_ioctl)
+        faults = getattr(self.env, "faults", None)
+        if faults is not None and faults.on_msix_send():
+            self.msix_lost += 1
+            return send, Event(self.env)  # pending forever: lost on the wire
         delivery = self.env.timeout(send + self.interconnect.msix_propagation())
         return send, delivery

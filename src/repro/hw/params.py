@@ -92,6 +92,15 @@ class HwParams:
     dma_bandwidth: float = 22.0
     #: Polling interval for asynchronous DMA completion checks.
     dma_poll_interval: float = 200.0
+    #: How long the engine waits for a completion before declaring the
+    #: descriptor lost and reissuing it. [fit: ~10x the base latency,
+    #: the usual device-driver watchdog margin]
+    dma_timeout_ns: float = 10_000.0
+    #: Base pause before a reissue; doubles per consecutive timeout.
+    dma_retry_backoff_ns: float = 1_000.0
+    #: Reissues before the engine gives up on injected timeouts and the
+    #: final attempt is forced through (bounds injected-fault recovery).
+    dma_max_retries: int = 8
 
     # -- host CPU topology (AMD Zen3 testbed, section 7) --
     host_sockets: int = 2

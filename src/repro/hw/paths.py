@@ -20,6 +20,11 @@ from repro.hw.pte import PteType
 class MemPath:
     """Cost model for word-granularity access to one shared buffer."""
 
+    #: True when accesses traverse the host<->NIC interconnect, making
+    #: them eligible for transient-congestion (pcie-stall) inflation by
+    #: an attached :class:`~repro.sim.faults.FaultInjector`.
+    crosses_interconnect = False
+
     def read_words(self, addr: int, n: int, now: float) -> float:
         """CPU cost of loading ``n`` 64-bit words starting at ``addr``."""
         raise NotImplementedError
@@ -84,6 +89,8 @@ class HostSharedMemPath(LocalWbPath):
 class HostMmioPath(MemPath):
     """Host access to SmartNIC DRAM over the interconnect, with the cost
     semantics of the chosen PTE type (section 5.3.1)."""
+
+    crosses_interconnect = True
 
     def __init__(self, params: HwParams, pte: PteType):
         if pte is PteType.WB and not params.coherent:

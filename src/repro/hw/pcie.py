@@ -18,20 +18,31 @@ class Interconnect:
 
     Exposes the primitive costs of Table 2 plus factories for the
     :class:`~repro.hw.paths.MemPath` objects each endpoint uses.
+
+    When an ``env`` is attached (as :class:`~repro.hw.platform.Machine`
+    does) and a fault injector is active, a transient ``pcie-stall``
+    inflates everything that traverses the link -- the MMIO primitives
+    and the wire portion of MSI-X delivery -- by the stall factor.
     """
 
-    def __init__(self, params: HwParams):
+    def __init__(self, params: HwParams, env=None):
         self.params = params
+        self.env = env
+
+    def _stall_factor(self) -> float:
+        """Current congestion inflation (1.0 outside stall windows)."""
+        faults = getattr(self.env, "faults", None) if self.env else None
+        return faults.interconnect_factor() if faults is not None else 1.0
 
     # -- Table 2 primitives ---------------------------------------------
 
     def mmio_read(self) -> float:
         """Host 64-bit uncacheable MMIO read (row 1)."""
-        return self.params.mmio_read_uc
+        return self.params.mmio_read_uc * self._stall_factor()
 
     def mmio_write(self) -> float:
         """Host 64-bit uncacheable MMIO write (row 2)."""
-        return self.params.mmio_write_uc
+        return self.params.mmio_write_uc * self._stall_factor()
 
     def msix_send(self, via_ioctl: bool = True) -> float:
         """Device-side cost of raising an MSI-X (rows 3-4)."""
@@ -44,14 +55,15 @@ class Interconnect:
 
     def msix_e2e(self) -> float:
         """Send-to-handler latency including the PCIe trip (row 6)."""
-        return self.params.msix_e2e
+        return (self.params.msix_send_ioctl + self.params.msix_receive
+                + self.msix_propagation())
 
     def msix_propagation(self) -> float:
         """The wire/bridge portion of MSI-X delivery: the time between
         the sender finishing its send overhead and the host core starting
         its receive overhead."""
         return (self.params.msix_e2e - self.params.msix_send_ioctl
-                - self.params.msix_receive)
+                - self.params.msix_receive) * self._stall_factor()
 
     # -- path factories ---------------------------------------------------
 

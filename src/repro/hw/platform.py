@@ -15,7 +15,7 @@ class Machine:
     def __init__(self, env: Environment, params: HwParams = None):
         self.env = env
         self.params = params or HwParams.pcie()
-        self.interconnect = Interconnect(self.params)
+        self.interconnect = Interconnect(self.params, env=env)
         self.host = HostCpu(env, self.params)
         self.nic = SmartNic(env, self.params, self.interconnect)
 

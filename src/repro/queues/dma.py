@@ -62,7 +62,10 @@ class DmaQueue:
         cost += self.producer_path.flush_writes()
         cost += self.dma.setup_cost()
         nbytes = len(items) * self.entry_bytes
-        duration = self.dma.transfer_duration(nbytes)
+        # One launch per descriptor batch: the duration (which includes
+        # any injected timeout/retry penalty) and the completion event
+        # come from the same draw, so arrival and completion agree.
+        duration, completion = self.dma.launch(nbytes)
         if self.sync:
             cost += duration
         arrival = self.env.now + cost + (0.0 if self.sync else duration)
@@ -71,10 +74,8 @@ class DmaQueue:
         self.produced += len(items)
         self._announce(arrival)
         if self.sync:
-            self.dma.transfers += 1
-            self.dma.bytes_moved += nbytes
             return cost, None
-        return cost, self.dma.transfer(nbytes)
+        return cost, completion
 
     def _announce(self, visible_at: float) -> None:
         if not self._waiters:

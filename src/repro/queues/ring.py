@@ -45,6 +45,10 @@ class FloemRing:
         self.produced = 0
         self.consumed = 0
         self.dropped = 0
+        #: Entries lost / duplicated by fault injection (distinct from
+        #: ``dropped``, which counts capacity-overflow backpressure).
+        self.fault_dropped = 0
+        self.fault_duplicated = 0
         self.max_depth = 0
 
     def __len__(self) -> int:
@@ -70,6 +74,13 @@ class FloemRing:
         writing the scheduler's NIC-resident message ring locally).
         """
         producer = via if via is not None else self.producer_path
+        faults = getattr(self.env, "faults", None)
+        fault_delay = 0.0
+        if faults is not None:
+            items, fault_delay, n_dropped, n_duplicated = (
+                faults.on_ring_produce(self.name, items))
+            self.fault_dropped += n_dropped
+            self.fault_duplicated += n_duplicated
         cost = 0.0
         accepted = 0
         for item in items:
@@ -81,8 +92,10 @@ class FloemRing:
             self._entries.append((item, None))  # visibility patched below
             accepted += 1
         cost += producer.flush_writes()
+        if faults is not None:
+            cost *= faults.path_cost_factor(producer)
         visible_at = (self.env.now + cost
-                      + producer.visibility_delay())
+                      + producer.visibility_delay() + fault_delay)
         if accepted:
             # Patch the visibility of the entries just appended.
             patched = []
@@ -130,6 +143,9 @@ class FloemRing:
         if not self.coherent:
             cost += self.consumer_path.invalidate(0, 1)
         cost += self.consumer_path.read_words(0, 1, self.env.now + cost)
+        faults = getattr(self.env, "faults", None)
+        if faults is not None:
+            cost *= faults.path_cost_factor(self.consumer_path)
         return cost
 
     def consume(self, max_batch: int = 64) -> Tuple[List[Any], float]:
@@ -153,6 +169,9 @@ class FloemRing:
                 cost += self.consumer_path.invalidate(addr, words)
             cost += self.consumer_path.read_words(addr, words, now + cost)
             items.append(item)
+        faults = getattr(self.env, "faults", None)
+        if faults is not None:
+            cost *= faults.path_cost_factor(self.consumer_path)
         self.consumed += len(items)
         return items, cost
 

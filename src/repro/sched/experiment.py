@@ -64,8 +64,16 @@ def run_sched_point(placement: Placement,
                     seed: int = 1,
                     params: Optional[HwParams] = None,
                     costs: Optional[SchedCosts] = None,
-                    completion_cost_ns: float = 0.0) -> SchedPointResult:
-    """Run one load point and return its observations."""
+                    completion_cost_ns: float = 0.0,
+                    request_sink: Optional[List[Request]] = None
+                    ) -> SchedPointResult:
+    """Run one load point and return its observations.
+
+    ``request_sink``, when given, receives every generated
+    :class:`Request` (in arrival order) after the run -- the raw event
+    sequence behind the aggregates, used by the golden-trace
+    determinism tests.
+    """
     env = Environment()
     machine = Machine(env, params or HwParams.pcie())
     channel = WaveChannel(machine, placement, opts, name="sched")
@@ -88,6 +96,8 @@ def run_sched_point(placement: Placement,
                              seed=seed + 2, warmup_ns=warmup_ns)
     loadgen.start()
     env.run(until=duration_ns)
+    if request_sink is not None:
+        request_sink.extend(loadgen.requests)
 
     window_s = (duration_ns - warmup_ns) / 1e9
     gets = LatencyStats("get")

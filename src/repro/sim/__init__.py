@@ -8,6 +8,8 @@ A small, deterministic, simpy-style engine written from scratch:
   waitable primitives.
 - :class:`Interrupt` supports asynchronous cancellation (preemption).
 - :class:`Store` is a FIFO channel for inter-process communication.
+- :class:`FaultInjector` / :class:`FaultPlan` provoke deterministic
+  failures at instrumented protocol edges (chaos testing).
 
 Determinism: events scheduled for the same timestamp are processed in
 (priority, insertion-order), so a seeded simulation replays identically.
@@ -26,6 +28,7 @@ from repro.sim.core import Environment, StopSimulation
 from repro.sim.resources import Store, Resource
 from repro.sim.monitor import LatencyStats, TimeWeightedValue, Counter
 from repro.sim.trace import Tracer, TraceEvent
+from repro.sim.faults import FaultInjector, FaultPlan, FaultRecord
 
 __all__ = [
     "Environment",
@@ -45,4 +48,7 @@ __all__ = [
     "EventAlreadyTriggered",
     "Tracer",
     "TraceEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
 ]

@@ -29,6 +29,10 @@ class Environment:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        #: Optional :class:`repro.sim.faults.FaultInjector`. Instrumented
+        #: subsystems consult this at their protocol edges; ``None`` (the
+        #: default) means every fault hook is a no-op.
+        self.faults = None
 
     @property
     def now(self) -> float:

@@ -132,6 +132,73 @@ def test_failover_to_onhost_fallback():
     assert manager.current.channel.placement is Placement.HOST
 
 
+def test_watchdog_crash_branch_does_not_rekill():
+    """A watchdog noticing an already-crashed agent must report it
+    without delivering a second kill (regression: the cleanup hook used
+    to see two interrupts for one crash)."""
+    from repro.core.watchdog import Watchdog
+    env, machine, channel, kernel = build(cores=1)
+    agent = GhostAgent(channel, FifoPolicy(), kernel.core_ids)
+    agent.start()
+    kernel.start()
+    kills = []
+    original_kill = agent.kill
+
+    def counting_kill(cause=""):
+        kills.append(cause)
+        original_kill(cause=cause)
+
+    agent.kill = counting_kill
+    fired_for = []
+    watchdog = Watchdog(agent, timeout_ns=5_000_000,
+                        on_kill=fired_for.append)
+    watchdog.start()
+
+    def crasher():
+        yield env.timeout(100_000)
+        agent.kill(cause="simulated segfault")
+
+    env.process(crasher())
+    env.run(until=30_000_000)
+    assert kills == ["simulated segfault"]  # exactly the crash, no re-kill
+    assert watchdog.fired
+    assert watchdog.fired_at is not None
+    assert fired_for == [agent]  # recovery triggered exactly once
+
+
+def test_crash_and_watchdog_same_step_single_failover():
+    """The satellite edge case: an agent that crashes in the very
+    event-loop step the watchdog checks must trigger exactly one
+    failover -- kill_pending makes the crash visible before the dead
+    process has unwound."""
+    env, machine, channel, kernel = build(cores=1)
+    agent = GhostAgent(channel, FifoPolicy(), kernel.core_ids)
+
+    def make_replacement():
+        return GhostAgent(channel, FifoPolicy(), kernel.core_ids,
+                          name="ghost-agent-v2")
+
+    manager = FailoverManager(kernel, agent, make_replacement,
+                              watchdog_timeout_ns=5_000_000,
+                              rewatch=False)
+    agent.start()
+    kernel.start()
+    check_period = manager.watchdog.check_period_ns
+
+    def crasher():
+        # Land the kill at exactly a watchdog check time: both the
+        # crash and the check observe the same timestamp.
+        yield env.timeout(check_period)
+        agent.kill(cause="crash at the check boundary")
+
+    env.process(crasher())
+    env.run(until=30_000_000)
+    assert manager.failovers == 1
+    assert len(manager.detections_ns) == 1
+    assert len(manager.recovery_latencies_ns) == 1
+    assert manager.current.name == "ghost-agent-v2"
+
+
 def test_repeated_failovers():
     env, machine, channel, kernel = build(cores=1)
     agent = GhostAgent(channel, FifoPolicy(), kernel.core_ids)
