@@ -3,7 +3,14 @@
 Commands::
 
     list                 show the available experiments
-    run <experiment>     run one experiment (``--fast`` for CI params)
+    run <experiment>     run one experiment (``--fast`` for CI params;
+                         ``--trace out.json`` for a Perfetto-loadable
+                         trace, ``--metrics out.txt`` for a metrics
+                         dump + digest, ``--profile`` for an event-loop
+                         profile)
+    report <experiment>  run one experiment and print/write a Markdown
+                         run report (top event kinds, stage latencies,
+                         fault timeline)
     all [--fast]         regenerate EXPERIMENTS.md
     info                 print the calibration table
     chaos                one deterministic fault-injection run
@@ -46,14 +53,58 @@ def cmd_list() -> int:
     return 0
 
 
-def cmd_run(name: str, fast: bool) -> int:
+def _load_experiment(name: str):
     if name not in EXPERIMENTS:
         print(f"unknown experiment {name!r}; try: python -m repro list",
               file=sys.stderr)
-        return 2
+        return None
     module_name, _ = EXPERIMENTS[name]
-    module = __import__(module_name, fromlist=["run"])
-    print(module.run(fast=fast).render())
+    return __import__(module_name, fromlist=["run"])
+
+
+def cmd_run(name: str, fast: bool, trace: str = None, metrics: str = None,
+            profile: bool = False) -> int:
+    module = _load_experiment(name)
+    if module is None:
+        return 2
+    if not (trace or metrics or profile):
+        # No telemetry requested: nothing is installed, so the run is
+        # bit-for-bit the pre-observability behaviour.
+        print(module.run(fast=fast).render())
+        return 0
+    from repro.obs import (LoopProfiler, Telemetry, write_chrome_trace,
+                           write_metrics)
+    profiler = LoopProfiler() if profile else None
+    telemetry = Telemetry(profiler=profiler)
+    with telemetry:
+        print(module.run(fast=fast).render())
+    if trace:
+        n_events = write_chrome_trace(telemetry, trace)
+        print(f"trace: {n_events} span events -> {trace}", file=sys.stderr)
+    if metrics:
+        digest = write_metrics(telemetry, metrics)
+        print(f"metrics: digest {digest} -> {metrics}", file=sys.stderr)
+    if profiler is not None:
+        print(profiler.table(), file=sys.stderr)
+    return 0
+
+
+def cmd_report(name: str, fast: bool, out: str = None) -> int:
+    module = _load_experiment(name)
+    if module is None:
+        return 2
+    from repro.obs import Telemetry, run_report
+    telemetry = Telemetry()
+    with telemetry:
+        module.run(fast=fast)
+    title = f"{name}: {EXPERIMENTS[name][1]}"
+    text = run_report(telemetry, title=title)
+    if out:
+        with open(out, "w") as fh:
+            fh.write(text)
+        print(f"report -> {out}")
+    else:
+        print(text, end="")
     return 0
 
 
@@ -90,6 +141,19 @@ def main(argv=None) -> int:
     run_p = sub.add_parser("run", help="run one experiment")
     run_p.add_argument("experiment")
     run_p.add_argument("--fast", action="store_true")
+    run_p.add_argument("--trace", metavar="PATH",
+                       help="write a Chrome/Perfetto trace-event JSON")
+    run_p.add_argument("--metrics", metavar="PATH",
+                       help="write a flat metrics dump (with digest)")
+    run_p.add_argument("--profile", action="store_true",
+                       help="profile the event loop (wall + simulated "
+                            "time per event kind)")
+    report_p = sub.add_parser(
+        "report", help="run one experiment and emit a Markdown run report")
+    report_p.add_argument("experiment")
+    report_p.add_argument("--fast", action="store_true")
+    report_p.add_argument("--out", metavar="PATH",
+                          help="write the report here instead of stdout")
     all_p = sub.add_parser("all", help="regenerate EXPERIMENTS.md")
     all_p.add_argument("--fast", action="store_true")
     sub.add_parser("info", help="print version + calibration table")
@@ -104,7 +168,10 @@ def main(argv=None) -> int:
     if args.command == "list":
         return cmd_list()
     if args.command == "run":
-        return cmd_run(args.experiment, args.fast)
+        return cmd_run(args.experiment, args.fast, trace=args.trace,
+                       metrics=args.metrics, profile=args.profile)
+    if args.command == "report":
+        return cmd_report(args.experiment, args.fast, out=args.out)
     if args.command == "all":
         return cmd_all(args.fast)
     if args.command == "info":

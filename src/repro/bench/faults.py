@@ -32,6 +32,7 @@ from repro.ghost import GhostAgent, GhostKernel, GhostTask
 from repro.ghost.failover import FailoverManager
 from repro.hw import HwParams, Machine
 from repro.hw.pte import PteType
+from repro.obs import Telemetry
 from repro.queues.dma import DmaQueue
 from repro.sched import FifoPolicy
 from repro.sim import Environment, FaultInjector, FaultPlan, LatencyStats
@@ -202,9 +203,19 @@ def run_chaos(plan_name: str, seed: int = 42,
     return _run_sched_chaos(plan_name, seed, timing)
 
 
+#: The fault lifecycle stages the chaos report reads its detection and
+#: recovery latencies from (see :mod:`repro.obs`).
+_FAULT_STAGES = ("fault.fire", "fault.verdict", "fault.recover")
+
+
 def _run_sched_chaos(plan_name: str, seed: int,
                      timing: ChaosTiming) -> ChaosResult:
     env = Environment()
+    if getattr(env, "telemetry", None) is None:
+        # No globally installed hub: attach a private one restricted to
+        # the fault lifecycle stages, which the report reads below.
+        Telemetry(stage_filter=list(_FAULT_STAGES)).attach(
+            env, label=f"chaos-{plan_name}")
     machine = Machine(env, HwParams.pcie())
     channel = WaveChannel(machine, Placement.NIC, WaveOpts.full(),
                           name="chaos")
@@ -262,18 +273,24 @@ def _run_sched_chaos(plan_name: str, seed: int,
     # Detection/recovery stats only make sense for plans that take an
     # agent down; pure perturbation plans (dup/delay/stall/msix-loss)
     # still see drain-phase idle-generation recycles, which are the
-    # watchdog's normal policy, not this fault's detection.
-    down_at = next((rec.when_ns for rec in injector.log
-                    if rec.kind in (AGENT_CRASH, AGENT_HANG)), None)
+    # watchdog's normal policy, not this fault's detection. Both
+    # latencies come from the fault lifecycle spans: fault.fire marks
+    # the injection, fault.verdict the watchdog's call, fault.recover
+    # covers verdict -> replacement agent polling.
+    spans = env.telemetry.spans
+    down_at = next((s.begin_ns for s in spans.spans("fault.fire")
+                    if s.args["kind"] in (AGENT_CRASH, AGENT_HANG)), None)
     detection = recovery = -1.0
     if down_at is not None:
-        # First detection at/after the crash/hang (later detections may
-        # be idle-generation recycles, which are not this fault's).
-        after = [d for d in manager.detections_ns if d >= down_at]
+        # First verdict at/after the crash/hang (later verdicts may be
+        # idle-generation recycles, which are not this fault's).
+        after = [s for s in spans.spans("fault.verdict")
+                 if s.begin_ns >= down_at]
         if after:
-            detection = after[0] - down_at
-        if manager.recovery_latencies_ns:
-            recovery = manager.recovery_latencies_ns[0]
+            detection = after[0].begin_ns - down_at
+        recoveries = spans.spans("fault.recover")
+        if recoveries:
+            recovery = recoveries[0].duration_ns
 
     return ChaosResult(
         plan=plan_name,

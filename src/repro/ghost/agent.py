@@ -67,6 +67,10 @@ class GhostAgent(WaveAgent):
         self.prestages = 0
         self.dispatches = 0
         self.preempts_issued = 0
+        self._track = f"agent:{name}"
+        tel = getattr(channel.env, "telemetry", None)
+        if tel is not None:
+            self.policy.attach_telemetry(tel.metrics)
 
     # -- main loop -----------------------------------------------------------
 
@@ -91,6 +95,9 @@ class GhostAgent(WaveAgent):
                 if not messages:
                     cost += ring.poll_cost()
                 yield env.timeout(cost)
+                tel = getattr(env, "telemetry", None)
+                batch_span = (tel.begin("agent.loop", self._track)
+                              if tel is not None and messages else None)
                 touched: Set[int] = set()
                 for message in messages:
                     yield from self._handle(message, touched)
@@ -98,6 +105,8 @@ class GhostAgent(WaveAgent):
                     yield from self._issue_preemptions()
                 yield from self._dispatch(touched)
                 yield from self._drain_outcomes()
+                if batch_span is not None:
+                    tel.end(batch_span, n=len(messages))
         except Interrupt as interrupt:
             self.killed = True
             yield from self.on_killed(interrupt.cause)
@@ -149,6 +158,7 @@ class GhostAgent(WaveAgent):
 
     def _dispatch(self, touched: Set[int]):
         """Serve waiting cores first, then prestage for busy ones."""
+        tel = getattr(self.env, "telemetry", None)
         for core in sorted(touched):
             if self._state.get(core) is not _CoreState.WAITING:
                 continue
@@ -163,9 +173,14 @@ class GhostAgent(WaveAgent):
             # carries an MSI-X.
             parked = (self.channel.slot(core).host_parked
                       or not self.prestage_enabled)
+            span = (tel.begin("agent.commit", self._track)
+                    if tel is not None else None)
             yield self.env.timeout(
                 self.channel.agent_word_cost(COMMIT_SYNC_WORDS))
             yield from self.api.txns_commit([txn], send_msix=parked)
+            if span is not None:
+                tel.end(span, kind="dispatch", core=core, tid=task.tid)
+                tel.count("agent_commits", kind="dispatch")
             self.policy.note_running(core, task, self.env.now)
             self._state[core] = _CoreState.BUSY
             self.dispatches += 1
@@ -185,13 +200,19 @@ class GhostAgent(WaveAgent):
             if task is None:
                 break
             txn = self.api.txn_create(core, SchedDecision(task))
+            span = (tel.begin("agent.commit", self._track)
+                    if tel is not None else None)
             yield self.env.timeout(
                 self.channel.agent_word_cost(COMMIT_SYNC_WORDS))
             yield from self.api.txns_commit([txn], send_msix=False)
+            if span is not None:
+                tel.end(span, kind="prestage", core=core, tid=task.tid)
+                tel.count("agent_commits", kind="prestage")
             self.prestages += 1
             self.heartbeat()
 
     def _issue_preemptions(self):
+        tel = getattr(self.env, "telemetry", None)
         for core in self.policy.preemptions_due(self.env.now):
             next_task = self.policy.dequeue()
             if next_task is None:
@@ -199,9 +220,15 @@ class GhostAgent(WaveAgent):
             self._recover_overwritten(core)
             txn = self.api.txn_create(core, SchedDecision(next_task,
                                                           preempt=True))
+            span = (tel.begin("agent.commit", self._track)
+                    if tel is not None else None)
             yield self.env.timeout(
                 self.channel.agent_word_cost(COMMIT_SYNC_WORDS))
             yield from self.api.txns_commit([txn], send_msix=True)
+            if span is not None:
+                tel.end(span, kind="preempt", core=core,
+                        tid=next_task.tid)
+                tel.count("agent_commits", kind="preempt")
             self.policy.note_running(core, next_task, self.env.now)
             self._state[core] = _CoreState.BUSY
             self.preempts_issued += 1

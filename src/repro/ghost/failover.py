@@ -94,6 +94,10 @@ class FailoverManager:
         self._failover_inflight = True
         self.last_detected_at = self.env.now
         self.detections_ns.append(self.env.now)
+        tel = getattr(self.env, "telemetry", None)
+        if tel is not None:
+            tel.span("fault.verdict", "faults", agent=dead_agent.name)
+            tel.count("fault_detections")
         self.env.process(self._failover(), name="failover")
 
     def _failover(self):
@@ -106,6 +110,13 @@ class FailoverManager:
         self.current = replacement
         self.last_recovered_at = self.env.now
         self.recovery_latencies_ns.append(self.env.now - detected_at)
+        tel = getattr(self.env, "telemetry", None)
+        if tel is not None:
+            tel.span("fault.recover", "faults", start_ns=detected_at,
+                     dur_ns=self.env.now - detected_at,
+                     agent=replacement.name,
+                     recovered=self.recovered_tasks)
+            tel.count("fault_recoveries")
         self._failover_inflight = False
         if self.rewatch:
             self._watch(replacement)

@@ -86,6 +86,10 @@ class GhostKernel:
         self._live_tasks[task.tid] = task
         if self.tracer:
             self.tracer.record("task_submit", tid=task.tid)
+        tel = getattr(self.env, "telemetry", None)
+        if tel is not None:
+            tel.span("sched.submit", "kernel", tid=task.tid)
+            tel.count("sched_tasks", event="submit")
         yield self.env.timeout(self.costs.kernel_entry)
         yield from self.host_api.send_messages([Message(TASK_NEW, task)])
 
@@ -129,9 +133,11 @@ class GhostKernel:
         slot = channel.slot(core)
         opts = channel.opts
         offloaded = channel.placement is Placement.NIC
+        track = f"core{core}"
 
         just_preempted = False
         while True:
+            tel = getattr(env, "telemetry", None)
             # ---- acquire a decision ----
             self._phase[core] = _ACQUIRE
             if opts.prestage:
@@ -153,6 +159,9 @@ class GhostKernel:
                 txn = None
             just_preempted = False
             recheck = costs.idle_recheck
+            park_span = None
+            if tel is not None and txn is None:
+                park_span = tel.begin("core.park", track)
             while txn is None:
                 # Idle: the agent learned we're idle from TASK_DEAD and
                 # will kick us; re-check periodically as a safety net,
@@ -173,18 +182,29 @@ class GhostKernel:
                     yield env.timeout(channel.notify_receive_cost())
                 txn, cost = slot.take()
                 yield env.timeout(cost)
+            if park_span is not None:
+                tel.end(park_span)
 
             # ---- enforce atomically ----
+            dispatch_span = None
+            if tel is not None:
+                dispatch_span = tel.begin("core.dispatch", track)
             if offloaded:
                 yield env.timeout(costs.wave_txn_bookkeeping)
             task = txn.payload.task
             if task.state is not TaskState.RUNNABLE:
                 txn.outcome = TxnOutcome.FAILED_RACE
                 self.failed_txns += 1
+                if tel is not None:
+                    tel.end(dispatch_span, failed_race=True)
+                    tel.count("sched_txns", outcome="failed_race")
                 yield from self.host_api.set_txns_outcomes([txn])
                 continue
             txn.outcome = TxnOutcome.COMMITTED
             yield env.timeout(costs.ctx_mechanics)
+            if tel is not None:
+                tel.end(dispatch_span, tid=task.tid)
+                tel.count("sched_txns", outcome="committed")
 
             # ---- run ----
             task.state = TaskState.RUNNING
@@ -192,10 +212,17 @@ class GhostKernel:
                 self.tracer.record("task_run", tid=task.tid, core=core)
             if task.first_run_at is None:
                 task.first_run_at = env.now
+                if tel is not None:
+                    tel.span("sched.queue", track,
+                             start_ns=task.created_at,
+                             dur_ns=env.now - task.created_at,
+                             tid=task.tid)
             if self.record_switch_overhead and core in self._prev_end:
                 self.switch_overhead.record(env.now - self._prev_end[core])
             self._phase[core] = _RUNNING
             self._run_procs[core] = env.active_process
+            run_span = (tel.begin("task.run", track, tid=task.tid)
+                        if tel is not None else None)
             start = env.now
             try:
                 yield env.timeout(task.remaining_ns)
@@ -211,6 +238,9 @@ class GhostKernel:
                     self.tracer.record("task_preempt", tid=task.tid,
                                        core=core,
                                        remaining=task.remaining_ns)
+                if tel is not None:
+                    tel.end(run_span, preempted=True)
+                    tel.count("sched_tasks", event="preempt")
                 # Pay the interrupt receive, save state, tell the agent.
                 yield env.timeout(channel.notify_receive_cost())
                 if offloaded:
@@ -230,6 +260,10 @@ class GhostKernel:
             if self.tracer:
                 self.tracer.record("task_complete", tid=task.tid,
                                    core=core)
+            if tel is not None:
+                tel.end(run_span)
+                tel.count("sched_tasks", event="complete")
+                tel.observe("sched_task_latency_ns", task.latency_ns)
             if hasattr(task.payload, "completed_ns"):
                 task.payload.completed_ns = env.now
             self._prev_end[core] = env.now

@@ -68,7 +68,22 @@ class DmaEngine:
             attempts += 1
             self.timeouts += 1
             self.retries += 1
+        if attempts:
+            tel = getattr(self.env, "telemetry", None)
+            if tel is not None:
+                tel.count("dma_retries", by=attempts)
         return penalty
+
+    def _observe(self, nbytes: int, duration: float,
+                 batched: bool = False) -> None:
+        """Record one transfer's span + metrics (no-op when disabled)."""
+        tel = getattr(self.env, "telemetry", None)
+        if tel is None:
+            return
+        tel.span("dma.transfer", "dma", dur_ns=duration, nbytes=nbytes)
+        tel.count("dma_transfers", batched=batched)
+        tel.count("dma_bytes", by=nbytes)
+        tel.observe("dma_transfer_ns", duration)
 
     def launch(self, nbytes: int) -> "Tuple[float, Event]":
         """Start one transfer; returns ``(duration, completion)``.
@@ -82,6 +97,7 @@ class DmaEngine:
         self.transfers += 1
         self.bytes_moved += nbytes
         duration = self._retry_penalty() + self.transfer_duration(nbytes)
+        self._observe(nbytes, duration)
         return duration, self.env.timeout(duration)
 
     def transfer(self, nbytes: int) -> Event:
@@ -94,8 +110,9 @@ class DmaEngine:
         """
         self.transfers += 1
         self.bytes_moved += nbytes
-        return self.env.timeout(self._retry_penalty()
-                                + self.transfer_duration(nbytes))
+        duration = self._retry_penalty() + self.transfer_duration(nbytes)
+        self._observe(nbytes, duration)
+        return self.env.timeout(duration)
 
     def transfer_batched(self, sizes: List[int]) -> Event:
         """Move several buffers under one descriptor batch.
@@ -106,5 +123,6 @@ class DmaEngine:
         total = sum(sizes)
         self.transfers += 1
         self.bytes_moved += total
-        return self.env.timeout(self._retry_penalty()
-                                + self.transfer_duration(total))
+        duration = self._retry_penalty() + self.transfer_duration(total)
+        self._observe(total, duration, batched=True)
+        return self.env.timeout(duration)

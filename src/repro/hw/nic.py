@@ -59,9 +59,17 @@ class SmartNic:
         """
         self.msix_sent += 1
         send = self.interconnect.msix_send(via_ioctl)
+        tel = getattr(self.env, "telemetry", None)
         faults = getattr(self.env, "faults", None)
         if faults is not None and faults.on_msix_send():
             self.msix_lost += 1
+            if tel is not None:
+                tel.span("msix.deliver", "pcie", dur_ns=send, lost=True)
+                tel.count("msix_delivered", outcome="lost")
             return send, Event(self.env)  # pending forever: lost on the wire
-        delivery = self.env.timeout(send + self.interconnect.msix_propagation())
+        wire = send + self.interconnect.msix_propagation()
+        if tel is not None:
+            tel.span("msix.deliver", "pcie", dur_ns=wire)
+            tel.count("msix_delivered", outcome="ok")
+        delivery = self.env.timeout(wire)
         return send, delivery

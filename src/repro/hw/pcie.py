@@ -34,18 +34,30 @@ class Interconnect:
         faults = getattr(self.env, "faults", None) if self.env else None
         return faults.interconnect_factor() if faults is not None else 1.0
 
+    def _telemetry(self):
+        return getattr(self.env, "telemetry", None) if self.env else None
+
     # -- Table 2 primitives ---------------------------------------------
 
     def mmio_read(self) -> float:
         """Host 64-bit uncacheable MMIO read (row 1)."""
+        tel = self._telemetry()
+        if tel is not None:
+            tel.count("mmio_ops", op="read")
         return self.params.mmio_read_uc * self._stall_factor()
 
     def mmio_write(self) -> float:
         """Host 64-bit uncacheable MMIO write (row 2)."""
+        tel = self._telemetry()
+        if tel is not None:
+            tel.count("mmio_ops", op="write")
         return self.params.mmio_write_uc * self._stall_factor()
 
     def msix_send(self, via_ioctl: bool = True) -> float:
         """Device-side cost of raising an MSI-X (rows 3-4)."""
+        tel = self._telemetry()
+        if tel is not None:
+            tel.count("msix_sends", via="ioctl" if via_ioctl else "reg")
         return (self.params.msix_send_ioctl if via_ioctl
                 else self.params.msix_send_reg)
 

@@ -162,10 +162,15 @@ class MemoryAgent:
                 continue
             total, dma_in, dma_out = self.iteration_duration_ns(iteration)
             yield env.timeout(total)
+            madvise_ns = 0.0
             if iteration.epoch:
                 madvise_ns = self.tiers.apply_decisions(
                     iteration.to_fast, iteration.to_slow)
                 yield env.timeout(madvise_ns)
+            tel = getattr(env, "telemetry", None)
+            if tel is not None:
+                self._observe(tel, iteration, started, total,
+                              dma_in, dma_out, madvise_ns)
             elapsed = env.now - started
             if elapsed < LOOP_PERIOD_NS:
                 yield env.timeout(LOOP_PERIOD_NS - elapsed)
@@ -177,6 +182,31 @@ class MemoryAgent:
                 dma_out_ns=dma_out,
                 epoch=iteration.epoch,
             ))
+
+    def _observe(self, tel, iteration, started: float, total: float,
+                 dma_in: float, dma_out: float, madvise_ns: float) -> None:
+        """Decompose one completed iteration into telemetry spans.
+
+        Spans describe costs already charged above; nothing here adds
+        simulated time."""
+        n_decisions = len(iteration.to_fast) + len(iteration.to_slow)
+        tel.span("sol.iterate", "mem-agent", start_ns=started,
+                 dur_ns=total + madvise_ns,
+                 batches=iteration.batches_scanned,
+                 epoch=iteration.epoch)
+        if dma_in:
+            tel.span("sol.dma_in", "mem-agent", start_ns=started,
+                     dur_ns=dma_in)
+        tel.span("sol.classify", "mem-agent", start_ns=started + dma_in,
+                 dur_ns=max(0.0, total - dma_in - dma_out))
+        if iteration.epoch:
+            tel.span("sol.migrate", "mem-agent",
+                     start_ns=started + total - dma_out,
+                     dur_ns=dma_out + madvise_ns, decisions=n_decisions)
+            tel.count("sol_migrations", by=n_decisions)
+        tel.count("sol_iterations", epoch=iteration.epoch)
+        tel.count("sol_batches_scanned", by=iteration.batches_scanned)
+        tel.observe("sol_iteration_ns", total)
 
     # -- reporting ----------------------------------------------------------
 

@@ -1,0 +1,64 @@
+"""Simulation-wide observability: metrics, spans, exporters, profiler.
+
+The telemetry substrate behind ``python -m repro run <exp> --trace/--metrics``
+and ``python -m repro report <exp>``:
+
+- :class:`MetricsRegistry` -- labelled counters/gauges/time-weighted
+  values/log-linear histograms with a deterministic digest;
+- :class:`Telemetry` / :class:`RunTelemetry` -- span-based tracing
+  threaded through every protocol edge (PCIe, DMA, rings, agents,
+  kernel, policies, RPC, SOL, faults);
+- exporters -- Chrome trace-event JSON (open in Perfetto), flat metrics
+  dumps, Markdown run reports;
+- :class:`LoopProfiler` -- wall-clock/sim-time attribution per event
+  kind, for finding simulator hot spots.
+
+See ``docs/observability.md`` for naming conventions and usage.
+"""
+
+from repro.obs.metrics import (
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+    NULL_METRIC,
+    NULL_REGISTRY,
+    NullMetricsRegistry,
+    TimeWeightedMetric,
+    render_key,
+)
+from repro.obs.spans import RunTelemetry, Span, SpanLog, Telemetry
+from repro.obs.export import (
+    chrome_trace_events,
+    metrics_digest,
+    metrics_dump,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.profile import LoopProfiler
+from repro.obs.report import fault_timeline, run_report, stage_breakdown
+
+__all__ = [
+    "CounterMetric",
+    "GaugeMetric",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "NULL_METRIC",
+    "NULL_REGISTRY",
+    "NullMetricsRegistry",
+    "TimeWeightedMetric",
+    "render_key",
+    "RunTelemetry",
+    "Span",
+    "SpanLog",
+    "Telemetry",
+    "chrome_trace_events",
+    "metrics_digest",
+    "metrics_dump",
+    "write_chrome_trace",
+    "write_metrics",
+    "LoopProfiler",
+    "fault_timeline",
+    "run_report",
+    "stage_breakdown",
+]

@@ -1,0 +1,95 @@
+"""Telemetry exporters: Chrome trace-event JSON and flat metrics dumps.
+
+The Chrome trace format (the JSON flavour Perfetto's legacy importer and
+``chrome://tracing`` both load) maps naturally onto the span model:
+
+- every attached run becomes one *process* (``pid``), so a figure sweep's
+  load points sit side by side instead of overlapping at t=0;
+- every track (simulated core, agent, ring, hardware engine) becomes one
+  *thread* (``tid``) with a ``thread_name`` metadata record;
+- every completed span becomes one ``"ph": "X"`` complete event with
+  microsecond ``ts``/``dur`` (the format's convention; simulated ns
+  divide by 1000).
+
+The metrics dump is a canonical, byte-stable text rendering of every
+run's registry; its digest is the same-seed determinism check.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List
+
+from repro.obs.spans import Telemetry
+
+
+def chrome_trace_events(telemetry: Telemetry) -> List[dict]:
+    """The ``traceEvents`` array for one telemetry hub."""
+    events: List[dict] = []
+    for run in telemetry.runs:
+        pid = run.run_index + 1
+        events.append({
+            "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+            "args": {"name": run.label},
+        })
+        tids: Dict[str, int] = {}
+        for track in run.spans.tracks():
+            tid = len(tids) + 1
+            tids[track] = tid
+            events.append({
+                "ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+                "args": {"name": track},
+            })
+        for span in run.spans:
+            event = {
+                "ph": "X",
+                "pid": pid,
+                "tid": tids[span.track],
+                "name": span.stage,
+                "cat": span.stage.split(".", 1)[0],
+                "ts": span.begin_ns / 1000.0,
+                "dur": span.duration_ns / 1000.0,
+            }
+            if span.args:
+                event["args"] = {k: str(v) for k, v in
+                                 sorted(span.args.items())}
+            events.append(event)
+    return events
+
+
+def write_chrome_trace(telemetry: Telemetry, path: str) -> int:
+    """Write the trace JSON; returns the number of span events."""
+    events = chrome_trace_events(telemetry)
+    payload = {"traceEvents": events, "displayTimeUnit": "ns"}
+    with open(path, "w") as handle:
+        json.dump(payload, handle, separators=(",", ":"))
+    return sum(1 for e in events if e.get("ph") == "X")
+
+
+def metrics_dump(telemetry: Telemetry) -> str:
+    """Canonical flat dump of every run's metrics and span counts."""
+    sections: List[str] = []
+    for run in telemetry.runs:
+        lines = [f"== {run.label} =="]
+        lines.append(f"spans.recorded {run.spans.recorded}")
+        lines.append(f"spans.evicted {run.spans.evicted}")
+        registry = run.metrics.dump()
+        if registry:
+            lines.append(registry)
+        sections.append("\n".join(lines))
+    return "\n".join(sections) + "\n"
+
+
+def metrics_digest(telemetry: Telemetry) -> str:
+    """Digest of :func:`metrics_dump`: byte-stable across same-seed runs."""
+    return hashlib.sha256(metrics_dump(telemetry).encode()).hexdigest()[:16]
+
+
+def write_metrics(telemetry: Telemetry, path: str) -> str:
+    """Write the metrics dump (digest trailer included); returns digest."""
+    digest = metrics_digest(telemetry)
+    with open(path, "w") as handle:
+        handle.write(metrics_dump(telemetry))
+        handle.write(f"digest {digest}\n")
+    return digest

@@ -1,0 +1,331 @@
+"""Labelled metrics for simulated systems.
+
+A :class:`MetricsRegistry` owns every metric of one simulation run:
+
+- :class:`CounterMetric` -- monotonic counts (``ring_ops{ring="x",op="push"}``),
+- :class:`GaugeMetric` -- last-written values,
+- :class:`TimeWeightedMetric` -- piecewise-constant values integrated over
+  simulated time (queue depths, frequency), and
+- :class:`HistogramMetric` -- log-linear histograms of durations/sizes
+  with interpolation-free percentiles.
+
+Metrics are identified by ``(name, labels)``; the canonical rendering is
+Prometheus-flavoured: ``name{k="v",k2="v2"}``. Everything a registry
+records is a pure function of the simulation, so :meth:`MetricsRegistry.dump`
+is byte-stable across same-seed runs and :meth:`MetricsRegistry.digest`
+is the determinism check CI leans on.
+
+When telemetry is disabled nothing constructs a registry at all (the
+``env.telemetry`` attribute is ``None`` and every instrumentation site
+guards on that); :class:`NullMetricsRegistry` additionally provides a
+no-op drop-in for code that wants an unconditional metric handle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.sim.monitor import TimeWeightedValue, loglinear_bucket, \
+    loglinear_lower_bound
+
+#: A metric's identity: name plus sorted ``(key, value)`` label pairs.
+MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Dict[str, object]) -> MetricKey:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def render_key(key: MetricKey) -> str:
+    """Canonical ``name{k="v"}`` rendering of a metric key."""
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def _fmt(value: float) -> str:
+    """Stable numeric formatting for dumps/digests."""
+    if isinstance(value, int):
+        return str(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+class CounterMetric:
+    """Monotonic counter."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: MetricKey):
+        self.key = key
+        self.value = 0
+
+    def incr(self, by: int = 1) -> None:
+        self.value += by
+
+    def sample_lines(self) -> List[Tuple[str, str]]:
+        return [(render_key(self.key), _fmt(self.value))]
+
+
+class GaugeMetric:
+    """Last-written value."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: MetricKey):
+        self.key = key
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def sample_lines(self) -> List[Tuple[str, str]]:
+        return [(render_key(self.key), _fmt(self.value))]
+
+
+class TimeWeightedMetric:
+    """Piecewise-constant value with a simulated-time integral."""
+
+    __slots__ = ("key", "_tw")
+
+    def __init__(self, key: MetricKey, env):
+        self.key = key
+        self._tw = TimeWeightedValue(env)
+
+    @property
+    def value(self) -> float:
+        return self._tw.value
+
+    def set(self, value: float) -> None:
+        self._tw.set(value)
+
+    def add(self, delta: float) -> None:
+        self._tw.add(delta)
+
+    @property
+    def integral(self) -> float:
+        return self._tw.integral
+
+    def time_average(self, since: float = 0.0) -> float:
+        return self._tw.time_average(since)
+
+    def sample_lines(self) -> List[Tuple[str, str]]:
+        base = render_key(self.key)
+        return [(f"{base}:last", _fmt(self._tw.value)),
+                (f"{base}:integral", _fmt(self._tw.integral))]
+
+
+class HistogramMetric:
+    """Log-linear histogram (shared bucketing with
+    :meth:`repro.sim.monitor.LatencyStats.histogram`).
+
+    Buckets are sparse: ``{bucket_index: count}``; percentiles return the
+    lower bound of the bucket holding the nearest-rank sample -- no
+    interpolation, so merged histograms report the same percentiles as
+    the union of their samples would (to bucket resolution).
+    """
+
+    __slots__ = ("key", "buckets", "count", "total", "vmin", "vmax")
+
+    def __init__(self, key: MetricKey):
+        self.key = key
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+
+    def record(self, value: float) -> None:
+        idx = loglinear_bucket(value)
+        self.buckets[idx] = self.buckets.get(idx, 0) + 1
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def percentile(self, p: float) -> float:
+        """Lower bound of the bucket holding the nearest-rank sample."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p} out of range")
+        if not self.count:
+            return float("nan")
+        rank = max(1, -(-int(p * self.count) // 100))  # ceil(p/100*n), >= 1
+        seen = 0
+        for idx in sorted(self.buckets):
+            seen += self.buckets[idx]
+            if seen >= rank:
+                return loglinear_lower_bound(idx)
+        return loglinear_lower_bound(max(self.buckets))
+
+    def merge(self, other: "HistogramMetric") -> "HistogramMetric":
+        for idx, n in other.buckets.items():
+            self.buckets[idx] = self.buckets.get(idx, 0) + n
+        self.count += other.count
+        self.total += other.total
+        self.vmin = min(self.vmin, other.vmin)
+        self.vmax = max(self.vmax, other.vmax)
+        return self
+
+    def sample_lines(self) -> List[Tuple[str, str]]:
+        base = render_key(self.key)
+        if not self.count:
+            return [(f"{base}:count", "0")]
+        return [
+            (f"{base}:count", _fmt(self.count)),
+            (f"{base}:sum", _fmt(self.total)),
+            (f"{base}:min", _fmt(self.vmin)),
+            (f"{base}:p50", _fmt(self.percentile(50))),
+            (f"{base}:p99", _fmt(self.percentile(99))),
+            (f"{base}:max", _fmt(self.vmax)),
+        ]
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labelled metrics for one run.
+
+    Handles are cheap to look up and stable, so hot paths can cache the
+    returned metric object. ``snapshot``/``delta`` support before/after
+    comparisons, and ``dump``/``digest`` give the canonical byte-stable
+    rendering.
+    """
+
+    def __init__(self, env=None):
+        self.env = env
+        self._metrics: Dict[MetricKey, object] = {}
+
+    def _get(self, cls, name: str, labels: Dict[str, object], *args):
+        key = _key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(key, *args)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(f"metric {render_key(key)} already registered "
+                            f"as {type(metric).__name__}")
+        return metric
+
+    def counter(self, name: str, **labels) -> CounterMetric:
+        return self._get(CounterMetric, name, labels)
+
+    def gauge(self, name: str, **labels) -> GaugeMetric:
+        return self._get(GaugeMetric, name, labels)
+
+    def timeweighted(self, name: str, **labels) -> TimeWeightedMetric:
+        if self.env is None:
+            raise RuntimeError("time-weighted metrics need a registry "
+                               "constructed with an env")
+        return self._get(TimeWeightedMetric, name, labels, self.env)
+
+    def histogram(self, name: str, **labels) -> HistogramMetric:
+        return self._get(HistogramMetric, name, labels)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return any(key[0] == name for key in self._metrics)
+
+    # -- export ------------------------------------------------------------
+
+    def sample_lines(self) -> List[Tuple[str, str]]:
+        """Every metric's ``(rendered_key, value)`` pairs, sorted."""
+        out: List[Tuple[str, str]] = []
+        for metric in self._metrics.values():
+            out.extend(metric.sample_lines())
+        out.sort()
+        return out
+
+    def snapshot(self) -> Dict[str, str]:
+        """Point-in-time values keyed by rendered metric name."""
+        return dict(self.sample_lines())
+
+    def delta(self, earlier: Dict[str, str]) -> Dict[str, Tuple[str, str]]:
+        """Changes vs an earlier :meth:`snapshot`:
+        ``{key: (before, after)}`` for every key that differs."""
+        now = self.snapshot()
+        keys = set(now) | set(earlier)
+        return {k: (earlier.get(k, ""), now.get(k, ""))
+                for k in sorted(keys) if earlier.get(k) != now.get(k)}
+
+    def dump(self) -> str:
+        """Canonical flat text dump, one ``key value`` per line."""
+        return "\n".join(f"{k} {v}" for k, v in self.sample_lines())
+
+    def digest(self) -> str:
+        """Hex digest of :meth:`dump` -- equal across same-seed runs."""
+        return hashlib.sha256(self.dump().encode()).hexdigest()[:16]
+
+
+class _NullMetric:
+    """Accepts every operation, records nothing."""
+
+    __slots__ = ()
+    value = 0
+    count = 0
+    total = 0.0
+    integral = 0.0
+
+    def incr(self, by: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+    def record(self, value: float) -> None:
+        pass
+
+    def time_average(self, since: float = 0.0) -> float:
+        return 0.0
+
+    def percentile(self, p: float) -> float:
+        return float("nan")
+
+    def sample_lines(self) -> List[Tuple[str, str]]:
+        return []
+
+
+#: The shared do-nothing metric instance.
+NULL_METRIC = _NullMetric()
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """No-op registry: every lookup returns :data:`NULL_METRIC`.
+
+    Lets instrumented code hold an unconditional metric handle while the
+    benchmark path stays unaffected (nothing is stored or rendered).
+    """
+
+    def __init__(self, env=None):
+        super().__init__(env)
+
+    def counter(self, name: str, **labels):
+        return NULL_METRIC
+
+    def gauge(self, name: str, **labels):
+        return NULL_METRIC
+
+    def timeweighted(self, name: str, **labels):
+        return NULL_METRIC
+
+    def histogram(self, name: str, **labels):
+        return NULL_METRIC
+
+
+#: A shared no-op registry for unconditional handles.
+NULL_REGISTRY = NullMetricsRegistry()

@@ -1,0 +1,93 @@
+"""Event-loop profiler: where does the *simulator* spend its time?
+
+Simulated-time telemetry explains the modeled system; this profiler
+explains the model itself. It wraps an :class:`~repro.sim.Environment`'s
+``step()`` and attributes, per event kind:
+
+- host wall-clock seconds (what makes ``--fast`` slow on a laptop), and
+- simulated nanoseconds advanced (what the event contributes to the
+  virtual timeline),
+
+where an event's *kind* is its class plus the process it resumes
+(``Timeout:core3``, with trailing digits collapsed so every core loop
+aggregates into one row). Wall-clock numbers are host-dependent by
+nature, so they feed the profiler table only -- never the metrics dump
+or its determinism digest.
+
+Enable via ``python -m repro run <exp> --profile`` or by constructing
+``Telemetry(profiler=LoopProfiler())``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+
+def _strip_digits(name: str) -> str:
+    """Collapse trailing instance numbers so per-core processes group."""
+    return name.rstrip("0123456789") or name
+
+
+class LoopProfiler:
+    """Aggregates per-event-kind wall and simulated time."""
+
+    def __init__(self):
+        # kind -> [count, wall_seconds, sim_ns]
+        self.by_kind: Dict[str, List[float]] = {}
+        self.steps = 0
+        self.wall_s = 0.0
+
+    def attach(self, env) -> None:
+        """Wrap ``env.step`` (instance attribute shadows the method)."""
+        original = env.step
+
+        def profiled_step():
+            queue = env._queue
+            if queue:
+                event = queue[0][3]
+                kind = type(event).__name__
+                callbacks = event.callbacks or ()
+                for callback in callbacks:
+                    owner = getattr(callback, "__self__", None)
+                    name = getattr(owner, "name", "")
+                    if name:
+                        kind += ":" + _strip_digits(name)
+                        break
+            else:
+                kind = "(empty)"
+            before_sim = env.now
+            before_wall = time.perf_counter()
+            try:
+                original()
+            finally:
+                wall = time.perf_counter() - before_wall
+                entry = self.by_kind.get(kind)
+                if entry is None:
+                    entry = self.by_kind[kind] = [0, 0.0, 0.0]
+                entry[0] += 1
+                entry[1] += wall
+                entry[2] += env.now - before_sim
+                self.steps += 1
+                self.wall_s += wall
+
+        env.step = profiled_step
+
+    def rows(self) -> List[Tuple[str, int, float, float]]:
+        """``(kind, count, wall_seconds, sim_ns)`` sorted by wall time."""
+        out = [(kind, int(c), w, s)
+               for kind, (c, w, s) in self.by_kind.items()]
+        out.sort(key=lambda r: -r[2])
+        return out
+
+    def table(self, top: int = 20) -> str:
+        """Human-readable hot-spot table."""
+        lines = [f"event-loop profile: {self.steps} steps, "
+                 f"{self.wall_s:.3f} s wall",
+                 f"{'event kind':<40} {'count':>10} {'wall ms':>10} "
+                 f"{'wall %':>7} {'sim ms':>10}"]
+        for kind, count, wall, sim in self.rows()[:top]:
+            share = 100.0 * wall / self.wall_s if self.wall_s else 0.0
+            lines.append(f"{kind:<40} {count:>10} {wall * 1e3:>10.2f} "
+                         f"{share:>6.1f}% {sim / 1e6:>10.3f}")
+        return "\n".join(lines)

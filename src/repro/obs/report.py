@@ -1,0 +1,111 @@
+"""Per-run Markdown reports: what happened, where the time went.
+
+:func:`run_report` renders one telemetry hub as Markdown:
+
+- top span stages by occurrence (the run's event census),
+- a stage-latency breakdown table (count / mean / p50 / p99 / max per
+  stage, from span durations) -- the per-hop decomposition behind
+  "why is wakeup-to-dispatch X us at this load point",
+- the fault timeline (injection, detection verdicts, recovery spans)
+  when fault spans are present, and
+- the metrics digest, tying the report to the determinism check.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.obs.export import metrics_digest
+from repro.obs.spans import Telemetry
+from repro.sim.monitor import LatencyStats
+
+
+def _md_table(headers: List[str], rows: List[List[str]]) -> str:
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def stage_breakdown(telemetry: Telemetry) -> List[tuple]:
+    """Per-stage ``(stage, count, mean_us, p50_us, p99_us, max_us)``,
+    sorted by total time descending."""
+    stats = {}
+    for _, span in telemetry.all_spans():
+        if span.end_ns is None:
+            continue
+        stat = stats.get(span.stage)
+        if stat is None:
+            stat = stats[span.stage] = LatencyStats(span.stage)
+        stat.record(span.duration_ns)
+    rows = []
+    for stage, stat in stats.items():
+        rows.append((stage, stat.count, stat.mean / 1e3, stat.p50 / 1e3,
+                     stat.p99 / 1e3, stat.max / 1e3))
+    rows.sort(key=lambda r: -(r[1] * r[2]))
+    return rows
+
+
+def fault_timeline(telemetry: Telemetry) -> List[str]:
+    """Chronological fault events across all runs (empty if none)."""
+    entries = []
+    for run, span in telemetry.all_spans():
+        if not span.stage.startswith("fault."):
+            continue
+        entries.append((run.run_index, span.begin_ns, span))
+    entries.sort(key=lambda e: (e[0], e[1]))
+    lines = []
+    for run_index, _, span in entries:
+        detail = ""
+        if span.args:
+            detail = " " + " ".join(f"{k}={v}" for k, v in
+                                    sorted(span.args.items()))
+        dur = ""
+        if span.duration_ns:
+            dur = f" (+{span.duration_ns / 1e6:.3f} ms)"
+        lines.append(f"- run {run_index} t={span.begin_ns / 1e6:.3f} ms: "
+                     f"`{span.stage}`{dur}{detail}")
+    return lines
+
+
+def run_report(telemetry: Telemetry, title: str = "run report",
+               top: int = 12) -> str:
+    """Render the full Markdown report."""
+    out: List[str] = [f"# {title}", ""]
+    out.append(f"- runs: {len(telemetry.runs)}")
+    out.append(f"- spans recorded: {telemetry.total_spans()}")
+    evicted = sum(run.spans.evicted for run in telemetry.runs)
+    if evicted:
+        out.append(f"- spans evicted (ring full): {evicted}")
+    out.append(f"- tracks: {len(telemetry.tracks())}")
+    out.append(f"- metrics digest: `{metrics_digest(telemetry)}`")
+    out.append("")
+
+    breakdown = stage_breakdown(telemetry)
+    if breakdown:
+        out.append("## Top event kinds")
+        out.append("")
+        census = sorted(breakdown, key=lambda r: -r[1])[:top]
+        out.append(_md_table(
+            ["stage", "count"],
+            [[f"`{stage}`", str(count)]
+             for stage, count, *_ in census]))
+        out.append("")
+        out.append("## Stage latency breakdown (us)")
+        out.append("")
+        out.append(_md_table(
+            ["stage", "count", "mean", "p50", "p99", "max"],
+            [[f"`{stage}`", str(count), f"{mean:.2f}", f"{p50:.2f}",
+              f"{p99:.2f}", f"{mx:.2f}"]
+             for stage, count, mean, p50, p99, mx in breakdown[:top]]))
+        out.append("")
+
+    faults = fault_timeline(telemetry)
+    if faults:
+        out.append("## Fault recovery timeline")
+        out.append("")
+        out.extend(faults)
+        out.append("")
+
+    return "\n".join(out)

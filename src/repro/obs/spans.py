@@ -1,0 +1,228 @@
+"""Span-based full-stack tracing.
+
+A *span* is one named stage of work on one *track* (a simulated core,
+agent, ring, or hardware engine) with begin/end simulated timestamps.
+Subsystems emit spans at their protocol edges; the union decomposes an
+end-to-end latency (e.g. task submit -> dispatch) into per-hop stages
+the way Table 3 and section 7.2.2 do.
+
+Wiring follows the fault-injection idiom: :class:`Telemetry` is the hub;
+``telemetry.attach(env)`` binds it to one :class:`~repro.sim.Environment`
+as a :class:`RunTelemetry` (stored on ``env.telemetry``). With
+:meth:`Telemetry.install` the binding happens automatically for every
+``Environment`` constructed afterwards -- which is how the CLI traces
+experiments that build one environment per load point. When nothing is
+installed ``env.telemetry`` is ``None`` and every instrumentation site
+is a single attribute load plus a falsy check: zero-cost when disabled.
+
+Spans never *charge* time -- they observe costs the subsystems already
+pay -- so an instrumented run is numerically identical to a bare one.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class Span:
+    """One named stage of work on one track."""
+
+    __slots__ = ("stage", "track", "begin_ns", "end_ns", "args")
+
+    def __init__(self, stage: str, track: str, begin_ns: float,
+                 end_ns: Optional[float], args: Optional[Dict[str, Any]]):
+        self.stage = stage
+        self.track = track
+        self.begin_ns = begin_ns
+        self.end_ns = end_ns
+        self.args = args
+
+    @property
+    def duration_ns(self) -> float:
+        if self.end_ns is None:
+            return 0.0
+        return self.end_ns - self.begin_ns
+
+    def render(self) -> str:
+        end = "open" if self.end_ns is None else f"{self.end_ns:.1f}"
+        detail = ""
+        if self.args:
+            detail = " " + " ".join(f"{k}={v}" for k, v in
+                                    sorted(self.args.items()))
+        return (f"[{self.begin_ns:.1f}..{end}] {self.track} "
+                f"{self.stage}{detail}")
+
+
+class SpanLog:
+    """Bounded span store (a ring, like :class:`~repro.sim.trace.Tracer`)."""
+
+    def __init__(self, capacity: int = 200_000):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._spans: Deque[Span] = collections.deque(maxlen=capacity)
+        self.recorded = 0
+        #: Spans displaced by newer ones once the ring filled.
+        self.evicted = 0
+
+    def append(self, span: Span) -> None:
+        if len(self._spans) == self._spans.maxlen:
+            self.evicted += 1
+        self._spans.append(span)
+        self.recorded += 1
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self):
+        return iter(self._spans)
+
+    def spans(self, stage: Optional[str] = None,
+              track: Optional[str] = None) -> List[Span]:
+        out = list(self._spans)
+        if stage is not None:
+            out = [s for s in out if s.stage == stage]
+        if track is not None:
+            out = [s for s in out if s.track == track]
+        return out
+
+    def stages(self) -> List[str]:
+        return sorted({s.stage for s in self._spans})
+
+    def tracks(self) -> List[str]:
+        return sorted({s.track for s in self._spans})
+
+
+class RunTelemetry:
+    """Telemetry bound to one environment (one simulation run).
+
+    Instrumentation sites hold ``env.telemetry`` (this object, or None)
+    and call :meth:`span` for stages whose duration they already know,
+    or :meth:`begin`/:meth:`end` around multi-yield sections.
+    """
+
+    def __init__(self, env, hub: "Telemetry", run_index: int,
+                 label: str = ""):
+        self.env = env
+        self.hub = hub
+        self.run_index = run_index
+        self.label = label or f"run{run_index}"
+        self.metrics = MetricsRegistry(env)
+        self.spans = SpanLog(capacity=hub.span_capacity)
+        self._stage_filter = hub.stage_filter
+
+    def _wanted(self, stage: str) -> bool:
+        return self._stage_filter is None or stage in self._stage_filter
+
+    def span(self, stage: str, track: str, dur_ns: float = 0.0,
+             start_ns: Optional[float] = None, **args) -> Optional[Span]:
+        """Record a completed span.
+
+        ``start_ns`` defaults to now; the span covers
+        ``[start_ns, start_ns + dur_ns]``. Instantaneous events use the
+        default ``dur_ns=0``.
+        """
+        if not self._wanted(stage):
+            return None
+        begin = self.env.now if start_ns is None else start_ns
+        span = Span(stage, track, begin, begin + dur_ns, args or None)
+        self.spans.append(span)
+        return span
+
+    def begin(self, stage: str, track: str, **args) -> Optional[Span]:
+        """Open a span at the current simulated time; close it with
+        :meth:`end`. Returns None when the stage is filtered out."""
+        if not self._wanted(stage):
+            return None
+        span = Span(stage, track, self.env.now, None, args or None)
+        self.spans.append(span)
+        return span
+
+    def end(self, span: Optional[Span], **args) -> None:
+        """Close an open span at the current simulated time."""
+        if span is None:
+            return
+        span.end_ns = self.env.now
+        if args:
+            if span.args is None:
+                span.args = {}
+            span.args.update(args)
+
+    # -- metric shorthands --------------------------------------------------
+
+    def count(self, name: str, by: int = 1, **labels) -> None:
+        self.metrics.counter(name, **labels).incr(by)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        self.metrics.histogram(name, **labels).record(value)
+
+
+class Telemetry:
+    """The telemetry hub: all runs' spans and metrics, plus exporters'
+    entry point.
+
+    One hub outlives any number of environments (a figure sweep builds
+    one env per load point); each attach allocates the next run index.
+    """
+
+    def __init__(self, span_capacity: int = 200_000,
+                 stage_filter: Optional[List[str]] = None,
+                 profiler=None):
+        self.span_capacity = span_capacity
+        self.stage_filter = set(stage_filter) if stage_filter else None
+        #: Optional :class:`repro.obs.profile.LoopProfiler`; when set,
+        #: every attached environment's event loop is profiled.
+        self.profiler = profiler
+        self.runs: List[RunTelemetry] = []
+
+    def attach(self, env, label: str = "") -> RunTelemetry:
+        """Bind this hub to ``env`` (sets ``env.telemetry``)."""
+        run = RunTelemetry(env, self, len(self.runs), label)
+        self.runs.append(run)
+        env.telemetry = run
+        if self.profiler is not None:
+            self.profiler.attach(env)
+        return run
+
+    # -- global install -----------------------------------------------------
+
+    def install(self) -> "Telemetry":
+        """Auto-attach to every Environment constructed from now on."""
+        from repro.sim import core as sim_core
+        sim_core.set_default_telemetry(self)
+        return self
+
+    def uninstall(self) -> None:
+        from repro.sim import core as sim_core
+        if sim_core.default_telemetry() is self:
+            sim_core.set_default_telemetry(None)
+
+    def __enter__(self) -> "Telemetry":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+
+    # -- aggregate views ----------------------------------------------------
+
+    def total_spans(self) -> int:
+        return sum(run.spans.recorded for run in self.runs)
+
+    def all_spans(self):
+        for run in self.runs:
+            for span in run.spans:
+                yield run, span
+
+    def stages(self) -> List[str]:
+        out = set()
+        for run in self.runs:
+            out.update(run.spans.stages())
+        return sorted(out)
+
+    def tracks(self) -> List[str]:
+        out = set()
+        for run in self.runs:
+            out.update(run.spans.tracks())
+        return sorted(out)

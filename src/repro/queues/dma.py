@@ -73,6 +73,11 @@ class DmaQueue:
             self._entries.append((item, arrival))
         self.produced += len(items)
         self._announce(arrival)
+        tel = getattr(self.env, "telemetry", None)
+        if tel is not None:
+            tel.span("dmaq.produce", f"ring:{self.name}", dur_ns=cost,
+                     n=len(items), sync=self.sync)
+            tel.count("ring_ops", by=len(items), ring=self.name, op="push")
         if self.sync:
             return cost, None
         return cost, completion
@@ -109,6 +114,13 @@ class DmaQueue:
                                                   now + cost)
             items.append(item)
         self.consumed += len(items)
+        if items:
+            tel = getattr(self.env, "telemetry", None)
+            if tel is not None:
+                tel.span("dmaq.consume", f"ring:{self.name}", dur_ns=cost,
+                         n=len(items))
+                tel.count("ring_ops", by=len(items), ring=self.name,
+                          op="pop")
         return items, cost
 
     def wait_nonempty(self) -> Event:

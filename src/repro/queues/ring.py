@@ -106,6 +106,13 @@ class FloemRing:
             self.produced += accepted
             self.max_depth = max(self.max_depth, len(self._entries))
             self._announce(visible_at)
+        tel = getattr(self.env, "telemetry", None)
+        if tel is not None:
+            tel.span("ring.produce", f"ring:{self.name}", dur_ns=cost,
+                     n=accepted)
+            tel.count("ring_ops", by=accepted, ring=self.name, op="push")
+            tel.metrics.timeweighted(
+                "ring_depth", ring=self.name).set(len(self._entries))
         return cost
 
     def _alloc_slot(self) -> int:
@@ -146,6 +153,9 @@ class FloemRing:
         faults = getattr(self.env, "faults", None)
         if faults is not None:
             cost *= faults.path_cost_factor(self.consumer_path)
+        tel = getattr(self.env, "telemetry", None)
+        if tel is not None:
+            tel.count("ring_ops", ring=self.name, op="poll")
         return cost
 
     def consume(self, max_batch: int = 64) -> Tuple[List[Any], float]:
@@ -173,6 +183,15 @@ class FloemRing:
         if faults is not None:
             cost *= faults.path_cost_factor(self.consumer_path)
         self.consumed += len(items)
+        if items:
+            tel = getattr(self.env, "telemetry", None)
+            if tel is not None:
+                tel.span("ring.consume", f"ring:{self.name}", dur_ns=cost,
+                         n=len(items))
+                tel.count("ring_ops", by=len(items), ring=self.name,
+                          op="pop")
+                tel.metrics.timeweighted(
+                    "ring_depth", ring=self.name).set(len(self._entries))
         return items, cost
 
     def _read_addr(self) -> int:

@@ -73,12 +73,18 @@ class RpcStack:
 
     def _processor(self):
         env = self.env
+        track = f"rpc:{self.name}"
         while True:
             kind, request = yield self._work.get()
+            tel = getattr(env, "telemetry", None)
             if kind == "request":
                 yield env.timeout(self.request_proc_ns)
                 self.busy_ns += self.request_proc_ns
                 self.requests_processed += 1
+                if tel is not None:
+                    tel.span("rpc.request", track,
+                             dur_ns=self.request_proc_ns)
+                    tel.count("rpc_msgs", kind="request")
                 yield from self.submit(request)
             else:
                 yield env.timeout(self.response_proc_ns)
@@ -86,6 +92,10 @@ class RpcStack:
                 self.responses_processed += 1
                 # Response hits the wire: end-to-end latency stops here.
                 request.completed_ns = env.now
+                if tel is not None:
+                    tel.span("rpc.response", track,
+                             dur_ns=self.response_proc_ns)
+                    tel.count("rpc_msgs", kind="response")
 
     def utilization(self, window_ns: float) -> float:
         """Fraction of pool capacity consumed over ``window_ns``."""

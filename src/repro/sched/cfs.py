@@ -33,12 +33,14 @@ class CfsLikePolicy(SchedPolicy):
         self._vruntime[task.tid] = max(vruntime, self._min_vruntime)
         heapq.heappush(self._heap,
                        (self._vruntime[task.tid], next(self._counter), task))
+        self._enq_metric.incr()
 
     def dequeue(self) -> Optional[GhostTask]:
         while self._heap:
             vruntime, _, task = heapq.heappop(self._heap)
             if task.state is TaskState.RUNNABLE:
                 self._min_vruntime = max(self._min_vruntime, vruntime)
+                self._deq_metric.incr()
                 return task
         return None
 

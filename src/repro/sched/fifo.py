@@ -24,11 +24,13 @@ class FifoPolicy(SchedPolicy):
 
     def enqueue(self, task: GhostTask) -> None:
         self._queue.append(task)
+        self._enq_metric.incr()
 
     def dequeue(self) -> Optional[GhostTask]:
         while self._queue:
             task = self._queue.popleft()
             if task.state is TaskState.RUNNABLE:
+                self._deq_metric.incr()
                 return task
         return None
 

@@ -38,6 +38,7 @@ class MultiQueueShinjukuPolicy(SchedPolicy):
 
     def enqueue(self, task: GhostTask) -> None:
         self._queues.setdefault(task_slo(task), deque()).append(task)
+        self._enq_metric.incr()
 
     def dequeue(self) -> Optional[GhostTask]:
         for slo in sorted(self._queues):
@@ -45,6 +46,7 @@ class MultiQueueShinjukuPolicy(SchedPolicy):
             while queue:
                 task = queue.popleft()
                 if task.state is TaskState.RUNNABLE:
+                    self._deq_metric.incr()
                     return task
         return None
 

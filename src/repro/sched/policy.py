@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.ghost.task import GhostTask, TaskState
+from repro.obs.metrics import NULL_METRIC
 
 
 class SchedPolicy:
@@ -18,8 +19,21 @@ class SchedPolicy:
     #: Preemption time slice in ns, or None for run-to-completion.
     time_slice: Optional[float] = None
 
+    #: Telemetry counters, bound by :meth:`attach_telemetry`; the null
+    #: defaults make ``incr()`` free when telemetry is disabled.
+    _enq_metric = NULL_METRIC
+    _deq_metric = NULL_METRIC
+
     def __init__(self):
         self._running: Dict[int, Tuple[GhostTask, float]] = {}
+
+    def attach_telemetry(self, registry, label: Optional[str] = None) -> None:
+        """Bind per-policy enqueue/dequeue counters to ``registry``."""
+        policy = label or type(self).__name__
+        self._enq_metric = registry.counter(
+            "sched_policy_ops", policy=policy, op="enqueue")
+        self._deq_metric = registry.counter(
+            "sched_policy_ops", policy=policy, op="dequeue")
 
     # -- run queue ---------------------------------------------------------
 

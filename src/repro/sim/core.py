@@ -9,6 +9,28 @@ from repro.sim.events import AllOf, AnyOf, Event, Timeout, NORMAL
 from repro.sim.process import Process
 
 
+#: Globally installed :class:`repro.obs.spans.Telemetry`, or None. When
+#: set, every new :class:`Environment` is attached to it at construction
+#: -- how the CLI traces experiments that build their own environments.
+_default_telemetry = None
+
+
+def set_default_telemetry(telemetry):
+    """Install (or clear, with None) the process-wide telemetry hub.
+
+    Returns the previous hub so callers can restore it.
+    """
+    global _default_telemetry
+    previous = _default_telemetry
+    _default_telemetry = telemetry
+    return previous
+
+
+def default_telemetry():
+    """The currently installed telemetry hub, or None."""
+    return _default_telemetry
+
+
 class StopSimulation(Exception):
     """Raised internally to end :meth:`Environment.run` at an event."""
 
@@ -33,6 +55,13 @@ class Environment:
         #: subsystems consult this at their protocol edges; ``None`` (the
         #: default) means every fault hook is a no-op.
         self.faults = None
+        #: Optional :class:`repro.obs.spans.RunTelemetry`. Instrumented
+        #: subsystems emit spans/metrics through this at their protocol
+        #: edges; ``None`` (the default) disables telemetry at the cost
+        #: of a single attribute load per edge.
+        self.telemetry = None
+        if _default_telemetry is not None:
+            _default_telemetry.attach(self)
 
     @property
     def now(self) -> float:

@@ -249,6 +249,10 @@ class FaultInjector:
     def _record(self, state: _PlanState, kind: str, detail: str) -> None:
         state.fires += 1
         self.log.append(FaultRecord(self.env.now, kind, detail))
+        tel = getattr(self.env, "telemetry", None)
+        if tel is not None:
+            tel.span("fault.fire", "faults", kind=kind, detail=detail)
+            tel.count("fault_fires", kind=kind)
 
     def _each(self, kind: str, name: str):
         for state in self._states:

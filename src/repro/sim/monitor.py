@@ -3,7 +3,46 @@
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
+
+#: Linear sub-buckets per power-of-two octave in the shared log-linear
+#: bucketing (:func:`loglinear_bucket`). 8 sub-buckets bound relative
+#: bucket error to 1/8 = 12.5% anywhere on the scale.
+LOGLINEAR_SUBBUCKETS = 8
+#: Exponent offset keeping bucket indices positive for any finite double.
+_EXP_OFFSET = 1080
+
+
+def loglinear_bucket(value: float) -> int:
+    """Bucket index of ``value`` on the shared log-linear scale.
+
+    Non-positive values map to bucket 0; positive values land in one of
+    :data:`LOGLINEAR_SUBBUCKETS` linear sub-buckets of their power-of-two
+    octave. Used by both :meth:`LatencyStats.histogram` and
+    :class:`repro.obs.metrics.HistogramMetric`, so per-core and
+    machine-wide histograms are mergeable bucket-by-bucket.
+    """
+    if value <= 0 or math.isnan(value):
+        return 0
+    if math.isinf(value):
+        value = float(2 ** 1000)
+    exp = math.frexp(value)[1]          # value in [2**(exp-1), 2**exp)
+    low = 2.0 ** (exp - 1)
+    sub = int((value - low) / low * LOGLINEAR_SUBBUCKETS)
+    if sub >= LOGLINEAR_SUBBUCKETS:
+        sub = LOGLINEAR_SUBBUCKETS - 1
+    return 1 + (exp + _EXP_OFFSET) * LOGLINEAR_SUBBUCKETS + sub
+
+
+def loglinear_lower_bound(index: int) -> float:
+    """Inclusive lower bound of log-linear bucket ``index``."""
+    if index <= 0:
+        return 0.0
+    index -= 1
+    exp = index // LOGLINEAR_SUBBUCKETS - _EXP_OFFSET
+    sub = index % LOGLINEAR_SUBBUCKETS
+    low = 2.0 ** (exp - 1)
+    return low + sub * low / LOGLINEAR_SUBBUCKETS
 
 
 class LatencyStats:
@@ -22,6 +61,31 @@ class LatencyStats:
         """Add one sample."""
         self._samples.append(value)
         self._sorted = None
+
+    def merge(self, other: "LatencyStats") -> "LatencyStats":
+        """Fold another instance's samples into this one (in place).
+
+        Lets per-core recorders be aggregated into a machine-wide view
+        without re-recording samples; percentiles of the merged stats
+        are exactly the percentiles of the union.
+        """
+        self._samples.extend(other._samples)
+        self._sorted = None
+        return self
+
+    def histogram(self) -> List[Tuple[float, int]]:
+        """Sorted ``(bucket_lower_bound, count)`` pairs on the shared
+        log-linear scale (:func:`loglinear_bucket`).
+
+        Interpolation-free export: the buckets can be merged across
+        recorders and nearest-rank percentiles recomputed from counts
+        alone, to bucket resolution (<= 12.5% relative error)."""
+        counts: Dict[int, int] = {}
+        for value in self._samples:
+            idx = loglinear_bucket(value)
+            counts[idx] = counts.get(idx, 0) + 1
+        return [(loglinear_lower_bound(idx), counts[idx])
+                for idx in sorted(counts)]
 
     @property
     def count(self) -> int:

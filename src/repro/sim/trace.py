@@ -37,16 +37,26 @@ class Tracer:
         self._events: Deque[TraceEvent] = collections.deque(maxlen=capacity)
         #: When set, only these kinds are recorded.
         self.kinds = set(kinds) if kinds is not None else None
-        self.dropped = 0
+        #: Events rejected by the kind whitelist (never appended).
+        self.filtered = 0
+        #: Old events displaced by newer ones once the ring filled. The
+        #: displacing append itself still counts as recorded -- the two
+        #: causes are distinct events, not one double-counted one.
+        self.evicted = 0
         self.recorded = 0
+
+    @property
+    def dropped(self) -> int:
+        """Events not retained, for any reason (filtered + evicted)."""
+        return self.filtered + self.evicted
 
     def record(self, kind: str, **fields: Any) -> None:
         """Record one event at the current simulated time."""
         if self.kinds is not None and kind not in self.kinds:
-            self.dropped += 1
+            self.filtered += 1
             return
         if len(self._events) == self._events.maxlen:
-            self.dropped += 1
+            self.evicted += 1
         self._events.append(TraceEvent(self.env.now, kind, fields))
         self.recorded += 1
 

@@ -36,6 +36,49 @@ def test_no_command_prints_help(capsys):
     assert "usage" in capsys.readouterr().out
 
 
+def test_run_with_trace_and_metrics(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "t.json"
+    metrics = tmp_path / "m.txt"
+    assert main(["run", "table2", "--fast",
+                 "--trace", str(trace), "--metrics", str(metrics)]) == 0
+    captured = capsys.readouterr()
+    # The experiment report still goes to stdout, telemetry to stderr.
+    assert "Hardware microbenchmarks" in captured.out
+    assert "trace:" in captured.err
+    assert "metrics: digest" in captured.err
+    data = json.loads(trace.read_text())
+    assert any(e.get("ph") == "X" for e in data["traceEvents"])
+    assert "digest" in metrics.read_text()
+
+
+def test_run_without_flags_leaves_no_telemetry_installed(capsys):
+    from repro.sim import Environment
+
+    assert main(["run", "table2", "--fast"]) == 0
+    capsys.readouterr()
+    assert Environment().telemetry is None
+
+
+def test_run_profile(capsys):
+    assert main(["run", "table2", "--fast", "--profile"]) == 0
+    assert "event-loop profile" in capsys.readouterr().err
+
+
+def test_report_command(tmp_path, capsys):
+    out = tmp_path / "report.md"
+    assert main(["report", "table2", "--fast", "--out", str(out)]) == 0
+    text = out.read_text()
+    assert text.startswith("# table2")
+    assert "metrics digest" in text
+
+
+def test_report_unknown_experiment(capsys):
+    assert main(["report", "nope"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
 def test_registry_covers_every_bench_module():
     import repro.bench.generate as generate
     registered = {module for module, _ in EXPERIMENTS.values()}

@@ -100,6 +100,111 @@ def test_time_weighted_add():
     assert tracked.integral == pytest.approx(1 * 5 + 4 * 5)
 
 
+def test_time_weighted_average_since_now():
+    """``time_average(since=now)`` has a zero-length window: it must
+    return the current value, not divide by zero."""
+    env = Environment()
+    tracked = TimeWeightedValue(env, initial=3.0)
+
+    def proc():
+        yield env.timeout(10)
+        tracked.set(7.0)
+
+    env.process(proc())
+    env.run(until=10)
+    assert tracked.time_average(since=env.now) == 7.0
+    # A window starting in the future is also degenerate.
+    assert tracked.time_average(since=env.now + 5) == 7.0
+
+
+def test_time_weighted_negative_delta():
+    env = Environment()
+    tracked = TimeWeightedValue(env, initial=5.0)
+
+    def proc():
+        yield env.timeout(10)
+        tracked.add(-3.0)
+        yield env.timeout(10)
+        tracked.add(-2.0)
+
+    env.process(proc())
+    env.run(until=30)
+    assert tracked.value == 0.0
+    # 5*10 + 2*10 + 0*10
+    assert tracked.integral == pytest.approx(70.0)
+
+
+def test_time_weighted_multiple_sets_same_timestamp():
+    """Several ``set()`` calls at one simulated instant contribute no
+    integral between them; only the last value carries forward."""
+    env = Environment()
+    tracked = TimeWeightedValue(env)
+
+    def proc():
+        yield env.timeout(10)
+        tracked.set(100.0)
+        tracked.set(3.0)
+        tracked.set(4.0)
+        yield env.timeout(10)
+
+    env.process(proc())
+    env.run(until=20)
+    # 0*10 (before the sets) + 4*10 (after); the 100 and 3 held for 0 ns.
+    assert tracked.integral == pytest.approx(40.0)
+    assert tracked.value == 4.0
+
+
+def test_latency_merge():
+    a = LatencyStats("a")
+    b = LatencyStats("b")
+    for v in (1.0, 2.0, 3.0):
+        a.record(v)
+    for v in (10.0, 20.0):
+        b.record(v)
+    out = a.merge(b)
+    assert out is a
+    assert a.count == 5
+    assert a.max == 20.0
+    assert a.percentile(100) == 20.0
+    # Percentiles of the merge equal percentiles of the union.
+    union = LatencyStats()
+    for v in (1.0, 2.0, 3.0, 10.0, 20.0):
+        union.record(v)
+    for p in (10, 50, 90, 99, 100):
+        assert a.percentile(p) == union.percentile(p)
+
+
+def test_latency_histogram_export_and_merge():
+    from repro.sim.monitor import loglinear_bucket, loglinear_lower_bound
+
+    stats = LatencyStats()
+    for v in (1.0, 1.0, 100.0, 5000.0):
+        stats.record(v)
+    hist = stats.histogram()
+    assert sum(count for _, count in hist) == 4
+    # Buckets are sorted and each lower bound is at most its samples.
+    bounds = [b for b, _ in hist]
+    assert bounds == sorted(bounds)
+    assert bounds[0] <= 1.0
+    # Round-trip: a value's bucket lower bound is within 12.5% below it.
+    for v in (1.0, 3.0, 7.9, 100.0, 5000.0, 1e9):
+        low = loglinear_lower_bound(loglinear_bucket(v))
+        assert low <= v
+        assert v - low <= v / 8.0 + 1e-9
+
+
+def test_loglinear_bucket_edge_values():
+    from repro.sim.monitor import loglinear_bucket, loglinear_lower_bound
+
+    assert loglinear_bucket(0.0) == 0
+    assert loglinear_bucket(-5.0) == 0
+    assert loglinear_bucket(float("nan")) == 0
+    assert loglinear_lower_bound(0) == 0.0
+    assert loglinear_bucket(float("inf")) > 0
+    # Subnormal-ish tiny values still get a positive index.
+    assert loglinear_bucket(1e-300) > 0
+
+
 def test_counter():
     c = Counter("events")
     c.incr()

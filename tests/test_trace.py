@@ -37,6 +37,9 @@ def test_kind_whitelist():
     tracer.record("drop")
     assert tracer.count("keep") == 1
     assert tracer.count("drop") == 0
+    # A whitelist rejection is a *filter*, not an eviction.
+    assert tracer.filtered == 1
+    assert tracer.evicted == 0
     assert tracer.dropped == 1
 
 
@@ -46,7 +49,21 @@ def test_capacity_ring():
     for i in range(5):
         tracer.record("e", i=i)
     assert [e.fields["i"] for e in tracer.events()] == [2, 3, 4]
+    # Ring overflow evicts the oldest events; nothing was filtered.
+    assert tracer.evicted == 2
+    assert tracer.filtered == 0
     assert tracer.dropped == 2
+
+
+def test_filtered_and_evicted_accumulate_independently():
+    env = Environment()
+    tracer = Tracer(env, kinds={"keep"}, capacity=2)
+    for i in range(3):
+        tracer.record("keep", i=i)
+        tracer.record("reject", i=i)
+    assert tracer.filtered == 3
+    assert tracer.evicted == 1
+    assert tracer.dropped == 4
 
 
 def test_invalid_capacity():
