@@ -7,14 +7,37 @@ assertions, with wall-clock time recorded as a byproduct.
 Everything under ``benchmarks/`` is marked ``slow`` and therefore
 opt-in: the default addopts deselect the marker, so run the suite with
 ``pytest -m slow benchmarks/``.
+
+Sweep-style experiments accept a ``jobs`` fixture that fans their
+independent load points across a process pool. It defaults to 1
+(serial); set it with ``pytest -m slow benchmarks/ --jobs 4`` or the
+``REPRO_JOBS`` environment variable (the CLI flag wins). Reports are
+byte-identical at any value, so this only changes wall-clock time.
 """
 
+import os
+
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs", type=int, default=None, metavar="N",
+        help="process-pool width for sweep benchmarks "
+             "(default: $REPRO_JOBS or 1; -1 = all cores)")
 
 
 def pytest_collection_modifyitems(items):
     for item in items:
         item.add_marker(pytest.mark.slow)
+
+
+@pytest.fixture
+def jobs(request):
+    value = request.config.getoption("--jobs")
+    if value is None:
+        value = int(os.environ.get("REPRO_JOBS", "1"))
+    return value
 
 
 def run_once(benchmark, fn, **kwargs):

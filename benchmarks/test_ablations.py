@@ -1,5 +1,7 @@
 """Design-choice ablations (DESIGN.md section 4; paper section 5.2)."""
 
+import pytest
+
 from conftest import run_once
 
 from repro.bench.ablations import (
@@ -9,13 +11,17 @@ from repro.bench.ablations import (
     run_payload_crossover,
 )
 
+# Redundant with the conftest hook, but explicit: every
+# file in benchmarks/ is opt-in slow.
+pytestmark = pytest.mark.slow
+
 
 def parse_rate(cell: str) -> float:
     return float(cell.replace(",", ""))
 
 
-def test_interconnect_ablation(benchmark):
-    report = run_once(benchmark, run_interconnects, fast=True)
+def test_interconnect_ablation(benchmark, jobs):
+    report = run_once(benchmark, run_interconnects, fast=True, jobs=jobs)
     print()
     print(report.render())
     sats = [parse_rate(row[1]) for row in report.rows]
@@ -28,8 +34,8 @@ def test_interconnect_ablation(benchmark):
     assert max(sats) / min(sats) < 1.2  # nobody wins by miles
 
 
-def test_idle_recheck_ablation(benchmark):
-    report = run_once(benchmark, run_idle_recheck, fast=True)
+def test_idle_recheck_ablation(benchmark, jobs):
+    report = run_once(benchmark, run_idle_recheck, fast=True, jobs=jobs)
     print()
     print(report.render())
     p99s = [float(row[1]) for row in report.rows]

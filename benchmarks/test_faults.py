@@ -1,12 +1,18 @@
 """Chaos: recovery under injected faults."""
 
+import pytest
+
 from conftest import run_once
 
 from repro.bench.faults import PLAN_NAMES, run
 
+# Redundant with the conftest hook, but explicit: every
+# file in benchmarks/ is opt-in slow.
+pytestmark = pytest.mark.slow
 
-def test_faults(benchmark):
-    report = run_once(benchmark, run, fast=True)
+
+def test_faults(benchmark, jobs):
+    report = run_once(benchmark, run, fast=True, jobs=jobs)
     print()
     print(report.render())
     rows = report.row_map()

@@ -1,16 +1,22 @@
 """Fig 4b: Shinjuku on the dispersive mix."""
 
+import pytest
+
 from conftest import run_once
 
 from repro.bench.fig4_shinjuku import run
+
+# Redundant with the conftest hook, but explicit: every
+# file in benchmarks/ is opt-in slow.
+pytestmark = pytest.mark.slow
 
 
 def parse_rate(cell: str) -> float:
     return float(cell.replace(",", ""))
 
 
-def test_fig4b(benchmark):
-    report = run_once(benchmark, run, fast=True)
+def test_fig4b(benchmark, jobs):
+    report = run_once(benchmark, run, fast=True, jobs=jobs)
     print()
     print(report.render())
     rows = report.row_map()

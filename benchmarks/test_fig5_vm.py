@@ -1,16 +1,22 @@
 """Fig 5: VM turbo/tick experiment."""
 
+import pytest
+
 from conftest import run_once
 
 from repro.bench.fig5_vm import PAPER, run
+
+# Redundant with the conftest hook, but explicit: every
+# file in benchmarks/ is opt-in slow.
+pytestmark = pytest.mark.slow
 
 
 def parse_pct(cell: str) -> float:
     return float(cell.rstrip("%"))
 
 
-def test_fig5(benchmark):
-    report = run_once(benchmark, run, fast=True)
+def test_fig5(benchmark, jobs):
+    report = run_once(benchmark, run, fast=True, jobs=jobs)
     print()
     print(report.render())
     rows = report.row_map()

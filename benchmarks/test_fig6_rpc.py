@@ -1,8 +1,14 @@
 """Fig 6: RPC deployment scenarios."""
 
+import pytest
+
 from conftest import run_once
 
 from repro.bench.fig6_rpc import run
+
+# Redundant with the conftest hook, but explicit: every
+# file in benchmarks/ is opt-in slow.
+pytestmark = pytest.mark.slow
 
 
 def parse_rate(cell: str) -> float:
@@ -16,8 +22,8 @@ def by_key(report, figure, scenario):
     raise KeyError((figure, scenario))
 
 
-def test_fig6(benchmark):
-    report = run_once(benchmark, run, fast=True)
+def test_fig6(benchmark, jobs):
+    report = run_once(benchmark, run, fast=True, jobs=jobs)
     print()
     print(report.render())
 

@@ -1,16 +1,22 @@
 """Section 7.2.2: the cumulative optimization ladder."""
 
+import pytest
+
 from conftest import run_once
 
 from repro.bench.opt_breakdown import run
+
+# Redundant with the conftest hook, but explicit: every
+# file in benchmarks/ is opt-in slow.
+pytestmark = pytest.mark.slow
 
 
 def parse_rate(cell: str) -> float:
     return float(cell.replace(",", ""))
 
 
-def test_opt_breakdown(benchmark):
-    report = run_once(benchmark, run, fast=True)
+def test_opt_breakdown(benchmark, jobs):
+    report = run_once(benchmark, run, fast=True, jobs=jobs)
     print()
     print(report.render())
     sats = [parse_rate(row[1]) for row in report.rows]

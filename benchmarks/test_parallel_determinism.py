@@ -1,0 +1,29 @@
+"""Parallel-vs-serial determinism: the --jobs contract, end to end.
+
+The pool merges results in submission order and every point carries its
+own seeds, so a pooled sweep must render the exact bytes the serial
+sweep renders. These run full fast-mode experiments twice each, hence
+the slow marker.
+"""
+
+import pytest
+
+from repro.bench import faults, fig4_fifo
+
+pytestmark = pytest.mark.slow
+
+
+def test_fig4a_report_byte_identical_serial_vs_pool(benchmark):
+    serial = fig4_fifo.run(fast=True, jobs=1).render()
+    pooled = benchmark.pedantic(
+        lambda: fig4_fifo.run(fast=True, jobs=4).render(),
+        iterations=1, rounds=1)
+    assert serial == pooled
+
+
+def test_faults_report_byte_identical_serial_vs_pool(benchmark):
+    serial = faults.run(fast=True, jobs=1).render()
+    pooled = benchmark.pedantic(
+        lambda: faults.run(fast=True, jobs=4).render(),
+        iterations=1, rounds=1)
+    assert serial == pooled

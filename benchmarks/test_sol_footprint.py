@@ -1,8 +1,14 @@
 """Section 7.4.2: SOL's effect on RocksDB's footprint and latency."""
 
+import pytest
+
 from conftest import run_once
 
 from repro.bench.sol_footprint import run
+
+# Redundant with the conftest hook, but explicit: every
+# file in benchmarks/ is opt-in slow.
+pytestmark = pytest.mark.slow
 
 
 def test_sol_footprint(benchmark):

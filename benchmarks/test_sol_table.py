@@ -1,8 +1,14 @@
 """Section 7.4.2: SOL per-iteration duration table."""
 
+import pytest
+
 from conftest import run_once
 
 from repro.bench.sol_table import PAPER, run
+
+# Redundant with the conftest hook, but explicit: every
+# file in benchmarks/ is opt-in slow.
+pytestmark = pytest.mark.slow
 
 
 def parse_ms(cell: str) -> float:

@@ -1,8 +1,14 @@
 """Table 2: hardware microbenchmarks."""
 
+import pytest
+
 from conftest import run_once
 
 from repro.bench.table2_hw import PAPER, run
+
+# Redundant with the conftest hook, but explicit: every
+# file in benchmarks/ is opt-in slow.
+pytestmark = pytest.mark.slow
 
 
 def test_table2(benchmark):

@@ -1,8 +1,14 @@
 """Table 3: scheduling microbenchmarks."""
 
+import pytest
+
 from conftest import run_once
 
 from repro.bench.table3_sched import PAPER_RANGES, run
+
+# Redundant with the conftest hook, but explicit: every
+# file in benchmarks/ is opt-in slow.
+pytestmark = pytest.mark.slow
 
 
 def parse_range(cell: str):
@@ -16,8 +22,8 @@ def parse_mid(cell: str) -> float:
     return (lo + hi) / 2
 
 
-def test_table3(benchmark):
-    report = run_once(benchmark, run, fast=True)
+def test_table3(benchmark, jobs):
+    report = run_once(benchmark, run, fast=True, jobs=jobs)
     print()
     print(report.render())
     rows = report.row_map()

@@ -1,8 +1,14 @@
 """Section 7.3.3: UPI-attached emulated SmartNIC."""
 
+import pytest
+
 from conftest import run_once
 
 from repro.bench.upi_bench import run
+
+# Redundant with the conftest hook, but explicit: every
+# file in benchmarks/ is opt-in slow.
+pytestmark = pytest.mark.slow
 
 
 def parse_pct(cell: str) -> float:

@@ -16,12 +16,22 @@ Commands::
     chaos                one deterministic fault-injection run
                          (``--seed N --plan agent-crash``; same seed,
                          same plan => byte-identical output)
+    perf                 kernel + end-to-end perf microbenchmarks;
+                         writes BENCH_perf.json (``--check`` gates on
+                         the committed baseline)
+
+``run``, ``report``, and ``all`` accept ``--jobs N`` to fan an
+experiment's independent load points across N worker processes
+(``--jobs -1`` uses every core). Reports are byte-identical at any
+jobs value; telemetry-instrumented runs (``--trace``/``--metrics``/
+``--profile``/``report``) fall back to serial execution.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import inspect
 import sys
 
 EXPERIMENTS = {
@@ -62,22 +72,31 @@ def _load_experiment(name: str):
     return __import__(module_name, fromlist=["run"])
 
 
+def _run_kwargs(module, fast: bool, jobs=None) -> dict:
+    kwargs = {"fast": fast}
+    if jobs is not None and "jobs" in inspect.signature(module.run).parameters:
+        kwargs["jobs"] = jobs
+    return kwargs
+
+
 def cmd_run(name: str, fast: bool, trace: str = None, metrics: str = None,
-            profile: bool = False) -> int:
+            profile: bool = False, jobs: int = None) -> int:
     module = _load_experiment(name)
     if module is None:
         return 2
     if not (trace or metrics or profile):
         # No telemetry requested: nothing is installed, so the run is
         # bit-for-bit the pre-observability behaviour.
-        print(module.run(fast=fast).render())
+        print(module.run(**_run_kwargs(module, fast, jobs)).render())
         return 0
     from repro.obs import (LoopProfiler, Telemetry, write_chrome_trace,
                            write_metrics)
     profiler = LoopProfiler() if profile else None
     telemetry = Telemetry(profiler=profiler)
     with telemetry:
-        print(module.run(fast=fast).render())
+        # run_points() sees the installed telemetry hub and runs the
+        # points serially, so the instrumented run stays fully observed.
+        print(module.run(**_run_kwargs(module, fast, jobs)).render())
     if trace:
         n_events = write_chrome_trace(telemetry, trace)
         print(f"trace: {n_events} span events -> {trace}", file=sys.stderr)
@@ -89,14 +108,15 @@ def cmd_run(name: str, fast: bool, trace: str = None, metrics: str = None,
     return 0
 
 
-def cmd_report(name: str, fast: bool, out: str = None) -> int:
+def cmd_report(name: str, fast: bool, out: str = None,
+               jobs: int = None) -> int:
     module = _load_experiment(name)
     if module is None:
         return 2
     from repro.obs import Telemetry, run_report
     telemetry = Telemetry()
     with telemetry:
-        module.run(fast=fast)
+        module.run(**_run_kwargs(module, fast, jobs))
     title = f"{name}: {EXPERIMENTS[name][1]}"
     text = run_report(telemetry, title=title)
     if out:
@@ -108,10 +128,18 @@ def cmd_report(name: str, fast: bool, out: str = None) -> int:
     return 0
 
 
-def cmd_all(fast: bool) -> int:
+def cmd_all(fast: bool, jobs: int = None) -> int:
     from repro.bench.generate import main as generate_main
-    generate_main(["--fast"] if fast else [])
+    argv = ["--fast"] if fast else []
+    if jobs is not None:
+        argv += ["--jobs", str(jobs)]
+    generate_main(argv)
     return 0
+
+
+def cmd_perf(fast: bool, check: bool, out: str, jobs: int = None) -> int:
+    from repro.bench.perf import main as perf_main
+    return perf_main(fast=fast, check=check, out=out, jobs=jobs)
 
 
 def cmd_chaos(plan: str, seed: int, fast: bool) -> int:
@@ -148,14 +176,33 @@ def main(argv=None) -> int:
     run_p.add_argument("--profile", action="store_true",
                        help="profile the event loop (wall + simulated "
                             "time per event kind)")
+    run_p.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="fan independent points across N processes "
+                            "(-1 = all cores)")
     report_p = sub.add_parser(
         "report", help="run one experiment and emit a Markdown run report")
     report_p.add_argument("experiment")
     report_p.add_argument("--fast", action="store_true")
     report_p.add_argument("--out", metavar="PATH",
                           help="write the report here instead of stdout")
+    report_p.add_argument("--jobs", type=int, default=None, metavar="N",
+                          help="fan independent points across N processes "
+                               "(-1 = all cores)")
     all_p = sub.add_parser("all", help="regenerate EXPERIMENTS.md")
     all_p.add_argument("--fast", action="store_true")
+    all_p.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="fan independent points across N processes "
+                            "(-1 = all cores)")
+    perf_p = sub.add_parser(
+        "perf", help="perf microbenchmarks; writes BENCH_perf.json")
+    perf_p.add_argument("--fast", action="store_true",
+                        help="kernel microbench only (skip the fig4a "
+                             "end-to-end timing)")
+    perf_p.add_argument("--check", action="store_true",
+                        help="exit non-zero if kernel events/sec fell "
+                             ">30%% below the committed baseline")
+    perf_p.add_argument("--out", metavar="PATH", default="BENCH_perf.json")
+    perf_p.add_argument("--jobs", type=int, default=None, metavar="N")
     sub.add_parser("info", help="print version + calibration table")
     chaos_p = sub.add_parser(
         "chaos", help="deterministic fault-injection run")
@@ -169,11 +216,15 @@ def main(argv=None) -> int:
         return cmd_list()
     if args.command == "run":
         return cmd_run(args.experiment, args.fast, trace=args.trace,
-                       metrics=args.metrics, profile=args.profile)
+                       metrics=args.metrics, profile=args.profile,
+                       jobs=args.jobs)
     if args.command == "report":
-        return cmd_report(args.experiment, args.fast, out=args.out)
+        return cmd_report(args.experiment, args.fast, out=args.out,
+                          jobs=args.jobs)
     if args.command == "all":
-        return cmd_all(args.fast)
+        return cmd_all(args.fast, jobs=args.jobs)
+    if args.command == "perf":
+        return cmd_perf(args.fast, args.check, args.out, jobs=args.jobs)
     if args.command == "info":
         return cmd_info()
     if args.command == "chaos":

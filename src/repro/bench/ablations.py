@@ -39,16 +39,17 @@ INTERCONNECTS = (
 )
 
 
-def _saturation(params: HwParams, rates, duration, costs=None) -> float:
+def _saturation(params: HwParams, rates, duration, costs=None,
+                jobs=None) -> float:
     results = sweep_load(
         Placement.NIC, WaveOpts.full(), 16, FifoPolicy,
-        lambda rng: RocksDbModel.fifo_mix(rng), rates,
+        RocksDbModel.fifo_mix, rates,
         duration_ns=duration, warmup_ns=duration // 5, params=params,
-        costs=costs)
+        costs=costs, jobs=jobs)
     return saturation_throughput(results, P99_LIMIT_NS)
 
 
-def run_interconnects(fast: bool = True) -> ExperimentReport:
+def run_interconnects(fast: bool = True, jobs: int = None) -> ExperimentReport:
     rates = [760_000, 830_000, 880_000, 920_000, 960_000] if fast else \
         [720_000, 780_000, 830_000, 870_000, 900_000, 930_000, 960_000,
          990_000]
@@ -56,7 +57,7 @@ def run_interconnects(fast: bool = True) -> ExperimentReport:
     rows = []
     baseline = None
     for name, factory in INTERCONNECTS:
-        sat = _saturation(factory(), rates, duration)
+        sat = _saturation(factory(), rates, duration, jobs=jobs)
         if baseline is None:
             baseline = sat
         rows.append((name, f"{sat:,.0f}",
@@ -72,17 +73,21 @@ def run_interconnects(fast: bool = True) -> ExperimentReport:
     )
 
 
-def run_idle_recheck(fast: bool = True) -> ExperimentReport:
+def run_idle_recheck(fast: bool = True, jobs: int = None) -> ExperimentReport:
     periods = (1_000.0, 5_000.0, 20_000.0, 100_000.0)
     rate = 700_000
     duration = 25_000_000 if fast else 45_000_000
+    from repro.bench.parallel import PointSpec, run_points
+    results = run_points(
+        [PointSpec(run_sched_point,
+                   (Placement.NIC, WaveOpts.full(), 16, FifoPolicy,
+                    RocksDbModel.fifo_mix, rate),
+                   dict(duration_ns=duration, warmup_ns=duration // 5,
+                        costs=SchedCosts(idle_recheck=period)))
+         for period in periods],
+        jobs=jobs)
     rows = []
-    for period in periods:
-        costs = SchedCosts(idle_recheck=period)
-        result = run_sched_point(
-            Placement.NIC, WaveOpts.full(), 16, FifoPolicy,
-            lambda rng: RocksDbModel.fifo_mix(rng), rate,
-            duration_ns=duration, warmup_ns=duration // 5, costs=costs)
+    for period, result in zip(periods, results):
         rows.append((f"{period / 1000:.0f} us", f"{result.get_p99_us:.0f}",
                      f"{result.achieved_rate:,.0f}"))
     return ExperimentReport(

@@ -378,13 +378,20 @@ def _run_dma_chaos(plan_name: str, seed: int,
     )
 
 
-def run(fast: bool = True, seed: int = 42) -> ExperimentReport:
+def run(fast: bool = True, seed: int = 42,
+        jobs: int = None) -> ExperimentReport:
     """The ``faults`` experiment: every class vs the fault-free baseline."""
     timing = ChaosTiming.fast() if fast else ChaosTiming()
-    baseline = _run_sched_chaos("none", seed, timing)
+    from repro.bench.parallel import PointSpec, run_points
+    # The fault-free baseline plus each plan are fully independent
+    # (plan, seed)-determined runs: fan them out together.
+    baseline, *results = run_points(
+        [PointSpec(_run_sched_chaos, ("none", seed, timing))]
+        + [PointSpec(run_chaos, (plan_name, seed), dict(timing=timing))
+           for plan_name in PLAN_NAMES],
+        jobs=jobs)
     rows = []
-    for plan_name in PLAN_NAMES:
-        result = run_chaos(plan_name, seed=seed, timing=timing)
+    for plan_name, result in zip(PLAN_NAMES, results):
         if plan_name == DMA_TIMEOUT:
             p99 = "n/a"
             tput_delta = "n/a"

@@ -31,14 +31,17 @@ FULL_RATES = [500_000, 600_000, 700_000, 760_000, 800_000, 830_000,
               860_000, 880_000, 900_000, 920_000, 940_000]
 
 
-def sweep(placement, cores, rates, duration_ns, warmup_ns, seed=1):
+def sweep(placement, cores, rates, duration_ns, warmup_ns, seed=1,
+          jobs=None):
+    # RocksDbModel.fifo_mix is passed by reference (not a lambda) so the
+    # point specs stay picklable for the --jobs process pool.
     return sweep_load(placement, WaveOpts.full(), cores, FifoPolicy,
-                      lambda rng: RocksDbModel.fifo_mix(rng), rates,
+                      RocksDbModel.fifo_mix, rates,
                       duration_ns=duration_ns, warmup_ns=warmup_ns,
-                      seed=seed)
+                      seed=seed, jobs=jobs)
 
 
-def run(fast: bool = True) -> ExperimentReport:
+def run(fast: bool = True, jobs: int = None) -> ExperimentReport:
     """Run the experiment; returns a paper-vs-measured report."""
     rates = FAST_RATES if fast else FULL_RATES
     duration = 25_000_000 if fast else 50_000_000
@@ -46,7 +49,8 @@ def run(fast: bool = True) -> ExperimentReport:
     curves = {}
     sats = {}
     for name, placement, cores in SCENARIOS:
-        curves[name] = sweep(placement, cores, rates, duration, warmup)
+        curves[name] = sweep(placement, cores, rates, duration, warmup,
+                             jobs=jobs)
         sats[name] = saturation_throughput(curves[name], P99_LIMIT_NS)
     rows = []
     for name, _, cores in SCENARIOS:
@@ -66,13 +70,14 @@ def run(fast: bool = True) -> ExperimentReport:
     )
 
 
-def curves_for_plot(fast: bool = True):
+def curves_for_plot(fast: bool = True, jobs: int = None):
     """(rate, p99) series per scenario -- Fig 4a's actual axes."""
     rates = FAST_RATES if fast else FULL_RATES
     duration = 25_000_000 if fast else 50_000_000
     out = {}
     for name, placement, cores in SCENARIOS:
-        results = sweep(placement, cores, rates, duration, duration // 5)
+        results = sweep(placement, cores, rates, duration, duration // 5,
+                        jobs=jobs)
         out[name] = [(r.achieved_rate, r.get_p99_us) for r in results]
     return out
 

@@ -25,21 +25,24 @@ FULL_RATES = [160_000, 180_000, 195_000, 208_000, 218_000, 227_000,
               234_000, 241_000, 248_000]
 
 
-def sweep(placement, cores, rates, duration_ns, warmup_ns, seed=1):
+def sweep(placement, cores, rates, duration_ns, warmup_ns, seed=1,
+          jobs=None):
+    # Factories passed by reference so the specs pickle for --jobs.
     return sweep_load(placement, WaveOpts.full(), cores, ShinjukuPolicy,
-                      lambda rng: RocksDbModel.shinjuku_mix(rng), rates,
+                      RocksDbModel.shinjuku_mix, rates,
                       duration_ns=duration_ns, warmup_ns=warmup_ns,
-                      seed=seed)
+                      seed=seed, jobs=jobs)
 
 
-def run(fast: bool = True) -> ExperimentReport:
+def run(fast: bool = True, jobs: int = None) -> ExperimentReport:
     """Run the experiment; returns a paper-vs-measured report."""
     rates = FAST_RATES if fast else FULL_RATES
     duration = 80_000_000 if fast else 100_000_000
     warmup = duration // 4
     sats, curves = {}, {}
     for name, placement, cores in SCENARIOS:
-        curves[name] = sweep(placement, cores, rates, duration, warmup)
+        curves[name] = sweep(placement, cores, rates, duration, warmup,
+                             jobs=jobs)
         sats[name] = saturation_by_backlog(curves[name],
                                            backlog_limit=3 * cores)
     rows = []

@@ -7,6 +7,7 @@ Paper improvements of Wave over on-host ghOSt: +11.2% at 1 active vCPU,
 
 from __future__ import annotations
 
+from repro.bench.parallel import parallel_map
 from repro.bench.reporting import ExperimentReport
 from repro.sched.vm_experiment import run_vm_point
 
@@ -15,14 +16,19 @@ FAST_POINTS = (1, 31, 64, 128)
 FULL_POINTS = (1, 8, 16, 31, 48, 64, 96, 128)
 
 
-def run(fast: bool = True) -> ExperimentReport:
+def run(fast: bool = True, jobs: int = None) -> ExperimentReport:
     """Run the experiment; returns a paper-vs-measured report."""
     points = FAST_POINTS if fast else FULL_POINTS
     measure = 40_000_000 if fast else 100_000_000
+    # Every (vCPU count, ticks) pair is an independent simulation:
+    # 2 * len(points) pool tasks, merged back in submission order.
+    results = parallel_map(
+        run_vm_point,
+        [(n, ticks) for n in points for ticks in (False, True)],
+        jobs=jobs, measure_ns=measure)
     rows = []
-    for n in points:
-        wave = run_vm_point(n, ticks=False, measure_ns=measure)
-        onhost = run_vm_point(n, ticks=True, measure_ns=measure)
+    for i, n in enumerate(points):
+        wave, onhost = results[2 * i], results[2 * i + 1]
         improvement = 100.0 * (wave.total_work / onhost.total_work - 1.0)
         paper = f"{PAPER[n]:+.1f}%" if n in PAPER else ""
         rows.append((n, f"{wave.total_work / 1e6:,.0f}",

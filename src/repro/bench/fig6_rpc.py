@@ -43,16 +43,17 @@ FULL_RATES = {
 }
 
 
-def _sweep(scenario, multiqueue, fast, worker_cores=None, seed=1):
+def _sweep(scenario, multiqueue, fast, worker_cores=None, seed=1,
+           jobs=None):
     rates = (FAST_RATES if fast else FULL_RATES)[scenario]
     duration = 70_000_000 if fast else 90_000_000
     return sweep_rpc_load(scenario, multiqueue, rates,
                           worker_cores=worker_cores,
                           duration_ns=duration, warmup_ns=duration // 4,
-                          seed=seed)
+                          seed=seed, jobs=jobs)
 
 
-def run(fast: bool = True) -> ExperimentReport:
+def run(fast: bool = True, jobs: int = None) -> ExperimentReport:
     """Run the experiment; returns a paper-vs-measured report."""
     rows = []
     sats: Dict[tuple, float] = {}
@@ -64,13 +65,13 @@ def run(fast: bool = True) -> ExperimentReport:
         backlog_ms = 100.0 if multiqueue else None
         for scenario in (RpcScenario.ONHOST_ALL, RpcScenario.ONHOST_SCHED,
                          RpcScenario.OFFLOAD_ALL):
-            points = _sweep(scenario, multiqueue, fast)
+            points = _sweep(scenario, multiqueue, fast, jobs=jobs)
             points_cache[(multiqueue, scenario)] = points
             sats[(multiqueue, scenario)] = saturation_at_slo(
                 points, slo, backlog_work_limit_ms=backlog_ms)
         # Apples-to-apples: Offload-All restricted to 15 host cores.
         points15 = _sweep(RpcScenario.OFFLOAD_ALL, multiqueue, fast,
-                          worker_cores=15)
+                          worker_cores=15, jobs=jobs)
         sats[(multiqueue, "offload-15")] = saturation_at_slo(
             points15, slo, backlog_work_limit_ms=backlog_ms)
 

@@ -22,24 +22,24 @@ P99_LIMIT_NS = 300_000.0
 
 
 def saturation_for(opts: WaveOpts, center: float, fast: bool,
-                   seed: int = 1) -> float:
+                   seed: int = 1, jobs: int = None) -> float:
     factors = (0.7, 0.9, 1.0, 1.1, 1.25) if fast \
         else (0.6, 0.75, 0.85, 0.95, 1.02, 1.1, 1.2, 1.35)
     rates = [center * f for f in factors]
     duration = 25_000_000 if fast else 45_000_000
     results = sweep_load(Placement.NIC, opts, 16, FifoPolicy,
-                         lambda rng: RocksDbModel.fifo_mix(rng), rates,
+                         RocksDbModel.fifo_mix, rates,
                          duration_ns=duration, warmup_ns=duration // 5,
-                         seed=seed)
+                         seed=seed, jobs=jobs)
     return saturation_throughput(results, P99_LIMIT_NS)
 
 
-def run(fast: bool = True) -> ExperimentReport:
+def run(fast: bool = True, jobs: int = None) -> ExperimentReport:
     """Run the experiment; returns a paper-vs-measured report."""
     rows = []
     prev = None
     for label, opts in WaveOpts.ladder():
-        sat = saturation_for(opts, PAPER[label], fast)
+        sat = saturation_for(opts, PAPER[label], fast, jobs=jobs)
         gain = "" if prev is None else f"+{100 * (sat / prev - 1):.0f}%"
         paper_gain = ""
         if prev is not None:

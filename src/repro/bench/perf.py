@@ -1,0 +1,213 @@
+"""Performance microbenchmarks with a tracked baseline.
+
+Two measurements, written to ``BENCH_perf.json``:
+
+- **Kernel events/sec**: a pure simulation-kernel workload (timeout
+  chains, ``any_of`` race pairs, interrupt-driven preemption) that
+  exercises exactly the hot paths the fast dispatch loop optimizes --
+  heap pop, cancelled-event skipping, the ``Timeout`` freelist, and
+  callback dispatch -- with no model code in the way.
+- **fig4a fast wall-clock**: the end-to-end Fig 4a sweep in ``--fast``
+  mode, serially and (on multicore hosts) through the ``--jobs``
+  process pool.
+
+``PRE_PR_BASELINE`` pins the numbers measured on the pre-optimization
+kernel (same workload, same host) so the speedup is auditable.
+``--check`` gates on the *committed* ``BENCH_perf.json``: it fails
+only when the fresh kernel events/sec falls more than 30% below the
+committed figure, so CI catches real kernel regressions without
+flaking on runner-speed noise.
+
+Run as ``python -m repro perf [--fast] [--check] [--jobs N]``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Optional
+
+from repro.sim import Environment, Interrupt
+
+# Measured on the pre-PR kernel (commit 271e81d), same workload and
+# host (1 CPU) as measure_kernel() below. The scheduled-event count is
+# workload-determined and must not drift: the optimized kernel must
+# schedule exactly as many events as the one it replaced.
+PRE_PR_BASELINE = {
+    "kernel_events_per_sec": 256_234,
+    "kernel_events_scheduled": 3_676_318,
+    "fig4a_fast_wall_s": 48.67,
+    "host_cpu_count": 1,
+}
+
+# --check fails when fresh events/sec < floor * committed events/sec.
+REGRESSION_FLOOR = 0.70
+
+
+def _build_workload(env, chains, racers, preempts):
+    def chain(period):
+        while True:
+            yield env.timeout(period)
+
+    def racer_pair(period):
+        slot = {}
+
+        def waiter():
+            while True:
+                ev = env.event()
+                slot["ev"] = ev
+                yield env.any_of([ev, env.timeout(50 * period)])
+
+        def kicker():
+            while True:
+                yield env.timeout(period)
+                ev = slot.get("ev")
+                if ev is not None and not ev.triggered:
+                    ev.succeed()
+
+        return waiter, kicker
+
+    def victim():
+        while True:
+            try:
+                yield env.timeout(1_000_000)
+            except Interrupt:
+                pass
+
+    def preemptor(proc, period):
+        while True:
+            yield env.timeout(period)
+            if proc.is_alive:
+                proc.interrupt("slice")
+
+    for i in range(chains):
+        env.process(chain(90 + i), name=f"chain{i}")
+    for i in range(racers):
+        waiter, kicker = racer_pair(110 + i)
+        env.process(waiter(), name=f"waiter{i}")
+        env.process(kicker(), name=f"kicker{i}")
+    for i in range(preempts):
+        proc = env.process(victim(), name=f"victim{i}")
+        env.process(preemptor(proc, 130 + i), name=f"preemptor{i}")
+
+
+def kernel_events_point(horizon_ns: int = 2_000_000, chains: int = 40,
+                        racers: int = 40, preempts: int = 10):
+    """One kernel microbench run: (events scheduled, wall seconds)."""
+    env = Environment()
+    _build_workload(env, chains, racers, preempts)
+    t0 = time.perf_counter()
+    env.run(until=horizon_ns)
+    wall = time.perf_counter() - t0
+    return env._seq, wall
+
+
+def measure_kernel(repeats: int = 3) -> dict:
+    """Best-of-N kernel events/sec (best = least scheduler noise)."""
+    kernel_events_point(horizon_ns=200_000)  # warmup
+    runs = []
+    for _ in range(repeats):
+        scheduled, wall = kernel_events_point()
+        runs.append({"events_scheduled": scheduled, "wall_s": round(wall, 4)})
+    best = max(r["events_scheduled"] / r["wall_s"] for r in runs)
+    return {
+        "events_scheduled": runs[0]["events_scheduled"],
+        "events_per_sec": round(best),
+        "runs": runs,
+    }
+
+
+def measure_fig4a(jobs: Optional[int] = None) -> float:
+    """Wall-clock seconds for the Fig 4a fast sweep."""
+    from repro.bench import fig4_fifo
+    t0 = time.perf_counter()
+    fig4_fifo.run(fast=True, jobs=jobs)
+    return time.perf_counter() - t0
+
+
+def main(fast: bool = False, check: bool = False,
+         out: str = "BENCH_perf.json", jobs: Optional[int] = None) -> int:
+    from repro.bench.parallel import resolve_jobs
+
+    committed = None
+    if check:
+        # Prefer the output path (a re-run in place), else the
+        # repo-committed artifact; fall back to the pre-PR constants.
+        for path in (out, "BENCH_perf.json"):
+            if os.path.exists(path):
+                try:
+                    with open(path) as fh:
+                        committed = json.load(fh)
+                    break
+                except (OSError, ValueError):
+                    continue
+
+    print("kernel microbench (timeout chains + any_of racers + "
+          "interrupts) ...", flush=True)
+    kernel = measure_kernel()
+    print(f"  events_scheduled={kernel['events_scheduled']:,} "
+          f"best={kernel['events_per_sec']:,} ev/s", flush=True)
+
+    result = {
+        "schema": "wave-repro-perf/1",
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "kernel": kernel,
+        "pre_pr_baseline": PRE_PR_BASELINE,
+        "kernel_speedup_vs_pre_pr": round(
+            kernel["events_per_sec"]
+            / PRE_PR_BASELINE["kernel_events_per_sec"], 3),
+    }
+
+    if not fast:
+        print("fig4a fast sweep, serial ...", flush=True)
+        serial_wall = measure_fig4a(jobs=None)
+        fig4a = {"serial_wall_s": round(serial_wall, 2)}
+        print(f"  serial {serial_wall:.2f}s", flush=True)
+        n_jobs = resolve_jobs(jobs if jobs is not None else -1)
+        if n_jobs > 1:
+            print(f"fig4a fast sweep, --jobs {n_jobs} ...", flush=True)
+            par_wall = measure_fig4a(jobs=n_jobs)
+            fig4a.update(jobs=n_jobs, parallel_wall_s=round(par_wall, 2),
+                         parallel_speedup=round(serial_wall / par_wall, 2))
+            print(f"  parallel {par_wall:.2f}s "
+                  f"({serial_wall / par_wall:.2f}x)", flush=True)
+        else:
+            fig4a["jobs"] = n_jobs
+            print("  single-CPU host: skipping the pool measurement",
+                  flush=True)
+        result["fig4a_fast"] = fig4a
+
+    with open(out, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out}")
+
+    if check:
+        base = (committed or {}).get("kernel", {}).get("events_per_sec") \
+            or PRE_PR_BASELINE["kernel_events_per_sec"]
+        floor = REGRESSION_FLOOR * base
+        got = kernel["events_per_sec"]
+        if got < floor:
+            print(f"PERF REGRESSION: kernel {got:,} ev/s < "
+                  f"{floor:,.0f} (70% of committed {base:,})")
+            return 1
+        print(f"perf check OK: kernel {got:,} ev/s >= "
+              f"{floor:,.0f} (70% of committed {base:,})")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    argv = sys.argv[1:]
+    raise SystemExit(main(
+        fast="--fast" in argv, check="--check" in argv,
+        out=next((argv[i + 1] for i, a in enumerate(argv) if a == "--out"),
+                 "BENCH_perf.json"),
+        jobs=next((int(argv[i + 1]) for i, a in enumerate(argv)
+                   if a == "--jobs"), None)))

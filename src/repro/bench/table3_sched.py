@@ -65,9 +65,13 @@ def measure_ctx_median(placement: Placement, opts: WaveOpts, seed: int,
 
 
 def measure_ctx_range(placement: Placement, opts: WaveOpts,
-                      repeats: int, tasks: int) -> Tuple[float, float]:
-    medians = [measure_ctx_median(placement, opts, seed, tasks)
-               for seed in range(repeats)]
+                      repeats: int, tasks: int,
+                      jobs: int = None) -> Tuple[float, float]:
+    from repro.bench.parallel import parallel_map
+    medians = parallel_map(
+        measure_ctx_median,
+        [(placement, opts, seed, tasks) for seed in range(repeats)],
+        jobs=jobs)
     return min(medians), max(medians)
 
 
@@ -82,7 +86,7 @@ def measure_open_decision(nic_pte: PteType) -> float:
             + link.msix_send(via_ioctl=True))
 
 
-def run(fast: bool = True) -> ExperimentReport:
+def run(fast: bool = True, jobs: int = None) -> ExperimentReport:
     """Run the experiment; returns a paper-vs-measured report."""
     repeats = 3 if fast else 5
     tasks = 120 if fast else 300
@@ -100,7 +104,8 @@ def run(fast: bool = True) -> ExperimentReport:
     open_wb = measure_open_decision(PteType.WB)
     add("wave open+msix (+nic-wb)", open_wb, open_wb)
     for name, opts in WAVE_CTX_ROWS:
-        lo, hi = measure_ctx_range(Placement.NIC, opts, repeats, tasks)
+        lo, hi = measure_ctx_range(Placement.NIC, opts, repeats, tasks,
+                                   jobs=jobs)
         add(name, lo, hi)
 
     env = Environment()
@@ -111,7 +116,8 @@ def run(fast: bool = True) -> ExperimentReport:
                  + machine.params.host_ipi_send)
     add("ghost open+ipi", open_host, open_host)
     for name, opts in GHOST_CTX_ROWS:
-        lo, hi = measure_ctx_range(Placement.HOST, opts, repeats, tasks)
+        lo, hi = measure_ctx_range(Placement.HOST, opts, repeats, tasks,
+                                   jobs=jobs)
         add(name, lo, hi)
 
     return ExperimentReport(

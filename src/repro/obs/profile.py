@@ -39,39 +39,37 @@ class LoopProfiler:
         self.wall_s = 0.0
 
     def attach(self, env) -> None:
-        """Wrap ``env.step`` (instance attribute shadows the method)."""
-        original = env.step
+        """Install this profiler as the environment's per-step hook.
 
-        def profiled_step():
-            queue = env._queue
-            if queue:
-                event = queue[0][3]
-                kind = type(event).__name__
-                callbacks = event.callbacks or ()
-                for callback in callbacks:
-                    owner = getattr(callback, "__self__", None)
-                    name = getattr(owner, "name", "")
-                    if name:
-                        kind += ":" + _strip_digits(name)
-                        break
-            else:
-                kind = "(empty)"
-            before_sim = env.now
-            before_wall = time.perf_counter()
-            try:
-                original()
-            finally:
-                wall = time.perf_counter() - before_wall
-                entry = self.by_kind.get(kind)
-                if entry is None:
-                    entry = self.by_kind[kind] = [0, 0.0, 0.0]
-                entry[0] += 1
-                entry[1] += wall
-                entry[2] += env.now - before_sim
-                self.steps += 1
-                self.wall_s += wall
+        ``Environment.run`` detects the hook and takes the stepped path,
+        handing every live event here; the hook times the dispatch
+        (``_process_event``) it performs on the environment's behalf.
+        """
+        env._profile_hook = self._profiled_step
 
-        env.step = profiled_step
+    def _profiled_step(self, env, now, event) -> None:
+        kind = type(event).__name__
+        callbacks = event.callbacks or ()
+        for callback in callbacks:
+            owner = getattr(callback, "__self__", None)
+            name = getattr(owner, "name", "")
+            if name:
+                kind += ":" + _strip_digits(name)
+                break
+        before_sim = env.now
+        before_wall = time.perf_counter()
+        try:
+            env._process_event(now, event)
+        finally:
+            wall = time.perf_counter() - before_wall
+            entry = self.by_kind.get(kind)
+            if entry is None:
+                entry = self.by_kind[kind] = [0, 0.0, 0.0]
+            entry[0] += 1
+            entry[1] += wall
+            entry[2] += env.now - before_sim
+            self.steps += 1
+            self.wall_s += wall
 
     def rows(self) -> List[Tuple[str, int, float, float]]:
         """``(kind, count, wall_seconds, sim_ns)`` sorted by wall time."""

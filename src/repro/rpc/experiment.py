@@ -238,10 +238,19 @@ def run_rpc_point(scenario: RpcScenario,
 
 
 def sweep_rpc_load(scenario: RpcScenario, multiqueue: bool,
-                   rates: List[float], **kwargs) -> List[RpcPointResult]:
-    """One curve of Fig 6a (single-queue) or 6b (multi-queue)."""
-    return [run_rpc_point(scenario, multiqueue, rate, **kwargs)
-            for rate in rates]
+                   rates: List[float], jobs: Optional[int] = None,
+                   **kwargs) -> List[RpcPointResult]:
+    """One curve of Fig 6a (single-queue) or 6b (multi-queue).
+
+    Independent load points; ``jobs > 1`` fans them out across a
+    process pool with results merged back in rate order.
+    """
+    from repro.bench.parallel import PointSpec, run_points
+    return run_points(
+        [PointSpec(run_rpc_point, (scenario, multiqueue, rate),
+                   dict(kwargs))
+         for rate in rates],
+        jobs=jobs)
 
 
 def saturation_at_slo(results: List[RpcPointResult],

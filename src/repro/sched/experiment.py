@@ -132,11 +132,24 @@ def sweep_load(placement: Placement,
                policy_factory: Callable[[], SchedPolicy],
                model_factory: Callable[[random.Random], RocksDbModel],
                rates: List[float],
+               jobs: Optional[int] = None,
                **kwargs) -> List[SchedPointResult]:
-    """One latency-vs-throughput curve (one line of Fig 4)."""
-    return [run_sched_point(placement, opts, n_worker_cores, policy_factory,
-                            model_factory, rate, **kwargs)
-            for rate in rates]
+    """One latency-vs-throughput curve (one line of Fig 4).
+
+    Each (scenario, rate) point is an independent simulation, so with
+    ``jobs > 1`` the points fan out across a process pool; results come
+    back in rate order and are byte-identical to a serial sweep (the
+    factories must then be picklable -- module-level callables, not
+    closures, or the sweep silently degrades to serial).
+    """
+    from repro.bench.parallel import PointSpec, run_points
+    return run_points(
+        [PointSpec(run_sched_point,
+                   (placement, opts, n_worker_cores, policy_factory,
+                    model_factory, rate),
+                   dict(kwargs))
+         for rate in rates],
+        jobs=jobs)
 
 
 def saturation_throughput(results: List[SchedPointResult],

@@ -5,7 +5,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Generator, Iterable, List, Optional, Tuple
 
-from repro.sim.events import AllOf, AnyOf, Event, Timeout, NORMAL
+from repro.sim.events import AllOf, AnyOf, Event, NORMAL, PENDING, Timeout
 from repro.sim.process import Process
 
 
@@ -13,6 +13,12 @@ from repro.sim.process import Process
 #: set, every new :class:`Environment` is attached to it at construction
 #: -- how the CLI traces experiments that build their own environments.
 _default_telemetry = None
+
+#: Upper bound on the per-environment :class:`Timeout` freelist. Most
+#: runs oscillate around a working set of a few dozen in-flight timers
+#: (one sleep per core/agent/loadgen process), so a small cap captures
+#: nearly all reuse while bounding worst-case retention.
+_POOL_MAX = 256
 
 
 def set_default_telemetry(telemetry):
@@ -44,13 +50,31 @@ class Environment:
 
     Time is a number of *nanoseconds* by convention throughout the
     project; the kernel itself only requires it to be an ordered numeric.
+
+    Fast-path invariants (see ``docs/performance.md``):
+
+    - :meth:`run` inlines the dispatch loop; :meth:`step` exists for
+      single-stepping and for the profiled path (``_profile_hook``).
+    - Cancelled events (:meth:`Event.cancel`) stay in the heap and are
+      discarded lazily at pop time, without advancing the clock.
+    - Processed :class:`Timeout` objects are recycled through a
+      freelist: :meth:`timeout` may return a reused instance, so a
+      Timeout must not be retained (or re-waited) after it has fired.
     """
+
+    __slots__ = ("_now", "_queue", "_seq", "_active_process", "faults",
+                 "telemetry", "_timeout_pool", "_profile_hook")
 
     def __init__(self, initial_time: float = 0):
         self._now = initial_time
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        self._timeout_pool: List[Timeout] = []
+        #: Optional per-step observer installed by
+        #: :class:`repro.obs.profile.LoopProfiler`; when set, :meth:`run`
+        #: takes the stepped (profiled) path instead of the inline loop.
+        self._profile_hook = None
         #: Optional :class:`repro.sim.faults.FaultInjector`. Instrumented
         #: subsystems consult this at their protocol edges; ``None`` (the
         #: default) means every fault hook is a no-op.
@@ -80,7 +104,29 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event that fires ``delay`` ns from now."""
+        """An event that fires ``delay`` ns from now.
+
+        Served from a freelist of processed timers when possible --
+        ``env.timeout()`` dominates allocation in every experiment, so
+        the returned object is owned by the kernel once it has fired.
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            timer = pool.pop()
+            # Inline of Timeout._reset: this is the hottest allocation
+            # site in every experiment, so skip the method call too.
+            timer.delay = delay
+            timer.callbacks = []
+            timer._value = value
+            timer._ok = True
+            timer._defused = False
+            timer._cancelled = False
+            self._seq += 1
+            heapq.heappush(
+                self._queue, (self._now + delay, NORMAL, self._seq, timer))
+            return timer
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator, name: str = "") -> Process:
@@ -102,16 +148,29 @@ class Environment:
         heapq.heappush(
             self._queue, (self._now + delay, priority, self._seq, event))
 
-    def peek(self) -> float:
-        """Time of the next scheduled event, or +inf if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+    def _recycle(self, event: Event) -> None:
+        """Return a finished Timeout to the freelist (bounded)."""
+        if type(event) is Timeout and len(self._timeout_pool) < _POOL_MAX:
+            self._timeout_pool.append(event)
 
-    def step(self) -> None:
-        """Process exactly one event."""
-        try:
-            self._now, _, _, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
+    def peek(self) -> float:
+        """Time of the next *live* scheduled event, or +inf if none.
+
+        Cancelled entries at the head are discarded on the way, so an
+        idle queue of dead timers can never make the horizon look busy.
+        """
+        queue = self._queue
+        while queue:
+            event = queue[0][3]
+            if not event._cancelled:
+                return queue[0][0]
+            heapq.heappop(queue)
+            self._recycle(event)
+        return float("inf")
+
+    def _process_event(self, now: float, event: Event) -> None:
+        """Advance the clock to ``now`` and run one event's callbacks."""
+        self._now = now
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -119,19 +178,47 @@ class Environment:
             # A failure nobody waited on: surface it instead of losing it.
             exc = event._value
             raise type(exc)(*exc.args) from exc
+        self._recycle(event)
+
+    def step(self) -> None:
+        """Process exactly one live event (skipping cancelled entries)."""
+        queue = self._queue
+        while True:
+            try:
+                now, _, _, event = heapq.heappop(queue)
+            except IndexError:
+                raise EmptySchedule() from None
+            if not event._cancelled:
+                break
+            self._recycle(event)
+        hook = self._profile_hook
+        if hook is None:
+            self._process_event(now, event)
+        else:
+            hook(self, now, event)
 
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
 
         ``until`` may be ``None`` (run to exhaustion), a number (run until
         that simulated time), or an :class:`Event` (run until it triggers,
-        returning its value).
+        returning its value -- or re-raising its stored exception if it
+        already failed).
         """
         if until is None:
             stop_at = float("inf")
         elif isinstance(until, Event):
             if until.callbacks is None:
-                return until.value if until.ok else None
+                if until._cancelled or until._value is PENDING:
+                    raise RuntimeError(
+                        f"cannot run until cancelled {until!r}")
+                if until._ok:
+                    return until._value
+                # Already processed *and failed*: surface the stored
+                # exception, matching _stop_callback semantics, instead
+                # of silently swallowing it.
+                exc = until._value
+                raise type(exc)(*exc.args) from exc
             until.callbacks.append(self._stop_callback)
             stop_at = float("inf")
         else:
@@ -140,11 +227,45 @@ class Environment:
                 raise ValueError(
                     f"until ({stop_at}) must not be before now ({self._now})")
 
+        if self._profile_hook is not None:
+            # Profiled path: per-event bookkeeping lives in step().
+            try:
+                while self._queue and self._queue[0][0] <= stop_at:
+                    self.step()
+            except StopSimulation as stop:
+                return stop.args[0]
+            return self._finish_run(until, stop_at)
+
+        # Inline dispatch loop: the whole-program hot path. Everything
+        # touched per event is a local; cancelled entries are discarded
+        # without advancing the clock; fired Timeouts go back to the
+        # freelist. Semantically identical to `while ...: self.step()`.
+        queue = self._queue
+        pool = self._timeout_pool
+        pop = heapq.heappop
+        timeout_type = Timeout
         try:
-            while self._queue and self._queue[0][0] <= stop_at:
-                self.step()
+            while queue and queue[0][0] <= stop_at:
+                now, _, _, event = pop(queue)
+                if event._cancelled:
+                    if type(event) is timeout_type and len(pool) < _POOL_MAX:
+                        pool.append(event)
+                    continue
+                self._now = now
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    # A failure nobody waited on: surface it.
+                    exc = event._value
+                    raise type(exc)(*exc.args) from exc
+                if type(event) is timeout_type and len(pool) < _POOL_MAX:
+                    pool.append(event)
         except StopSimulation as stop:
             return stop.args[0]
+        return self._finish_run(until, stop_at)
+
+    def _finish_run(self, until: Any, stop_at: float) -> Any:
         if not isinstance(until, Event):
             # Advance the clock to the requested stop time even if the
             # queue drained early, so repeated run(until=...) is monotonic.

@@ -23,9 +23,17 @@ class Event:
     An event moves through three states: *pending* (just created),
     *triggered* (given a value via :meth:`succeed` or :meth:`fail` and
     scheduled for processing), and *processed* (its callbacks have run).
+
+    A fourth, terminal state is *cancelled* (:meth:`cancel`): the event
+    will never fire and its queue entry, if any, is discarded lazily the
+    next time the scheduler reaches it -- O(1) now instead of an O(n)
+    heap rebuild. Only an event nobody is waiting on may be cancelled;
+    the kernel uses this to skip :class:`AnyOf` losers and the orphaned
+    wait timers of interrupted processes.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused",
+                 "_cancelled")
 
     def __init__(self, env: "Environment"):  # noqa: F821
         self.env = env
@@ -33,6 +41,7 @@ class Event:
         self._value: Any = PENDING
         self._ok: Optional[bool] = None
         self._defused = False
+        self._cancelled = False
 
     @property
     def triggered(self) -> bool:
@@ -43,6 +52,11 @@ class Event:
     def processed(self) -> bool:
         """True once the event's callbacks have been invoked."""
         return self.callbacks is None
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the event has been withdrawn via :meth:`cancel`."""
+        return self._cancelled
 
     @property
     def ok(self) -> bool:
@@ -58,8 +72,26 @@ class Event:
             raise RuntimeError("event has not been triggered")
         return self._value
 
+    def cancel(self) -> bool:
+        """Withdraw the event so the scheduler skips it at pop time.
+
+        Only legal while nobody is subscribed: a waiter would otherwise
+        hang forever. Returns False (a no-op) if the event has already
+        been processed or cancelled.
+        """
+        if self.callbacks is None:
+            return False
+        if self.callbacks:
+            raise RuntimeError(
+                f"cannot cancel {self!r}: it has waiting callbacks")
+        self._cancelled = True
+        self.callbacks = None
+        return True
+
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
+        if self._cancelled:
+            raise EventAlreadyTriggered(f"{self!r} was cancelled")
         if self._value is not PENDING:
             raise EventAlreadyTriggered(f"{self!r} already triggered")
         self._ok = True
@@ -76,6 +108,8 @@ class Event:
         """
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
+        if self._cancelled:
+            raise EventAlreadyTriggered(f"{self!r} was cancelled")
         if self._value is not PENDING:
             raise EventAlreadyTriggered(f"{self!r} already triggered")
         self._ok = False
@@ -88,8 +122,9 @@ class Event:
         self._defused = True
 
     def __repr__(self) -> str:
-        state = "processed" if self.processed else (
-            "triggered" if self.triggered else "pending")
+        state = "cancelled" if self._cancelled else (
+            "processed" if self.processed else (
+                "triggered" if self.triggered else "pending"))
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
@@ -107,6 +142,21 @@ class Timeout(Event):
         self._value = value
         env._schedule(self, NORMAL, delay)
 
+    def _reset(self, delay: float, value: Any) -> None:
+        """Re-arm a recycled instance (the environment's freelist).
+
+        The caller schedules it; only the event-state fields are
+        stomped here.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self.delay = delay
+        self.callbacks = []
+        self._value = value
+        self._ok = True
+        self._defused = False
+        self._cancelled = False
+
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}>"
 
@@ -114,20 +164,31 @@ class Timeout(Event):
 class Condition(Event):
     """Waits for a combination of events, judged by ``evaluate``.
 
-    The condition's value is a dict mapping each *triggered* child event
-    to its value, in child order.
+    The condition's value is a dict mapping each *occurred* child event
+    to its value, in the order the children were processed. Values are
+    collected incrementally as children fire (O(1) per child) rather
+    than by rescanning the child list on every check.
+
+    When the condition triggers it unsubscribes from the children still
+    pending, and any loser that turns out to be a :class:`Timeout`
+    nobody else waits on is cancelled -- so the scheduler discards its
+    queue entry at pop time instead of fully processing a dead timer
+    (the timeout racing every RPC/ghOSt wait).
     """
 
-    __slots__ = ("_events", "_evaluate", "_count")
+    __slots__ = ("_events", "_evaluate", "_count", "_values")
 
     def __init__(self, env, evaluate, events):  # noqa: F821
         super().__init__(env)
         self._events = tuple(events)
         self._evaluate = evaluate
         self._count = 0
+        self._values: dict = {}
         for event in self._events:
             if event.env is not env:
                 raise ValueError("events belong to different environments")
+            if event._cancelled:
+                raise RuntimeError(f"cannot wait on cancelled {event!r}")
         # Check already-processed children first, then subscribe.
         for event in self._events:
             if event.callbacks is None:
@@ -137,10 +198,22 @@ class Condition(Event):
         if not self._events and self._value is PENDING:
             self.succeed({})
 
-    def _collect_values(self) -> dict:
-        # Timeouts are "triggered" from birth; only children whose
-        # callbacks have run (processed) have actually occurred.
-        return {e: e._value for e in self._events if e.processed}
+    def _detach(self, winner: Event) -> None:
+        # Unsubscribe from still-pending children; cancel loser timers
+        # nobody else waits on (lazy heap deletion skips them at pop).
+        check = self._check
+        for child in self._events:
+            if child is winner:
+                continue
+            callbacks = child.callbacks
+            if callbacks is None:
+                continue
+            try:
+                callbacks.remove(check)
+            except ValueError:
+                pass
+            if not callbacks and type(child) is Timeout:
+                child.cancel()
 
     def _check(self, event: Event) -> None:
         if self._value is not PENDING:
@@ -148,9 +221,13 @@ class Condition(Event):
         self._count += 1
         if not event._ok:
             event.defuse()
+            self._detach(event)
             self.fail(event._value)
-        elif self._evaluate(self._events, self._count):
-            self.succeed(self._collect_values())
+        else:
+            self._values[event] = event._value
+            if self._evaluate(self._events, self._count):
+                self._detach(event)
+                self.succeed(self._values)
 
 
 def _eval_any(events, count) -> bool:

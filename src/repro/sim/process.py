@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from repro.sim.events import Event, PENDING, URGENT
+from repro.sim.events import Event, PENDING, Timeout, URGENT
 
 
 class Interrupt(Exception):
@@ -62,6 +62,11 @@ class _Interruption(Event):
                 target.callbacks.remove(process._resume)
             except ValueError:
                 pass
+            # A preempted sleep (e.g. the Shinjuku slice cutting a
+            # service timeout short) leaves a dead timer behind; cancel
+            # it so the scheduler skips its queue entry at pop time.
+            if not target.callbacks and type(target) is Timeout:
+                target.cancel()
         process._resume(self)
 
 
@@ -93,13 +98,14 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         env = self.env
         env._active_process = self
+        generator = self._generator
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = generator.send(event._value)
                 else:
                     event._defused = True
-                    next_event = self._generator.throw(event._value)
+                    next_event = generator.throw(event._value)
             except StopIteration as exc:
                 self._target = None
                 env._active_process = None
@@ -124,6 +130,14 @@ class Process(Event):
                 next_event.callbacks.append(self._resume)
                 self._target = next_event
                 env._active_process = None
+                return
+
+            if next_event._cancelled:
+                self._target = None
+                env._active_process = None
+                self.fail(RuntimeError(
+                    f"process {self.name!r} waited on a cancelled event: "
+                    f"{next_event!r}"))
                 return
 
             # Already processed: continue immediately with its value.

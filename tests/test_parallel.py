@@ -1,0 +1,94 @@
+"""Tests for the process-pool sweep runner (repro.bench.parallel)."""
+
+import os
+import time
+
+import pytest
+
+from repro.bench.parallel import (
+    PointSpec,
+    parallel_map,
+    resolve_jobs,
+    run_points,
+)
+from repro.core import Placement, WaveOpts
+from repro.sched import FifoPolicy
+from repro.sched.experiment import sweep_load
+from repro.workloads import RocksDbModel
+
+
+def _ident(i):
+    return i
+
+
+def _ident_slow_first(i, n):
+    # Earlier submissions sleep longer, so workers *complete* in reverse
+    # submission order -- the merge must not care.
+    time.sleep(0.05 * (n - i))
+    return i
+
+
+def _worker_pid(_i):
+    return os.getpid()
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(0) == 1
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(-1) == (os.cpu_count() or 1)
+
+
+def test_results_in_submission_order_not_completion_order():
+    n = 4
+    specs = [PointSpec(_ident_slow_first, (i, n)) for i in range(n)]
+    assert run_points(specs, jobs=2) == [0, 1, 2, 3]
+
+
+def test_serial_and_parallel_agree():
+    specs = [PointSpec(_ident, (i,)) for i in range(6)]
+    assert run_points(specs, jobs=None) == run_points(specs, jobs=3)
+
+
+def test_pool_actually_engages_multiple_processes():
+    pids = run_points([PointSpec(_worker_pid, (i,)) for i in range(4)],
+                      jobs=2)
+    assert all(pid != os.getpid() for pid in pids)
+
+
+def test_unpicklable_specs_fall_back_to_serial():
+    sink = []
+    specs = [PointSpec(lambda i=i: sink.append(i) or i, ())
+             for i in range(3)]
+    assert run_points(specs, jobs=2) == [0, 1, 2]
+    assert sink == [0, 1, 2]  # ran in this process
+
+
+def test_installed_telemetry_forces_serial():
+    from repro.obs import Telemetry
+    with Telemetry():
+        pids = run_points(
+            [PointSpec(_worker_pid, (i,)) for i in range(3)], jobs=2)
+    assert pids == [os.getpid()] * 3
+
+
+def test_parallel_map_sugar():
+    assert parallel_map(_ident, [(0,), (1,), (2,)], jobs=2) == [0, 1, 2]
+
+
+def test_sweep_load_byte_identical_across_jobs():
+    rates = [400_000, 500_000]
+    kwargs = dict(duration_ns=2_000_000, warmup_ns=400_000, seed=1)
+    serial = sweep_load(Placement.NIC, WaveOpts.full(), 4, FifoPolicy,
+                        RocksDbModel.fifo_mix, rates, **kwargs)
+    pooled = sweep_load(Placement.NIC, WaveOpts.full(), 4, FifoPolicy,
+                        RocksDbModel.fifo_mix, rates, jobs=2, **kwargs)
+    assert [repr(r) for r in serial] == [repr(r) for r in pooled]
+
+
+def test_faults_report_byte_identical_across_jobs():
+    from repro.bench import faults
+    serial = faults.run(fast=True, jobs=None).render()
+    pooled = faults.run(fast=True, jobs=4).render()
+    assert serial == pooled

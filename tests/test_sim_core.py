@@ -312,3 +312,219 @@ def test_repeated_run_until_advances_monotonically():
     assert env.now == 10
     env.run(until=20)
     assert env.now == 20
+
+
+# ---------------------------------------------------------------------------
+# Event cancellation + the fast dispatch loop's lazy heap deletion.
+
+
+def test_cancel_pending_event():
+    env = Environment()
+    timer = env.timeout(10)
+    assert timer.cancel()
+    assert timer.cancelled
+    env.run(until=20)
+    assert env.now == 20
+
+
+def test_cancel_with_waiting_callbacks_raises():
+    env = Environment()
+    timer = env.timeout(10)
+
+    def waiter():
+        yield timer
+
+    env.process(waiter())
+    env.run(until=5)  # the process is now parked on the timer
+    with pytest.raises(RuntimeError):
+        timer.cancel()
+
+
+def test_cancel_processed_event_is_noop():
+    env = Environment()
+    ev = env.event()
+    ev.succeed()
+    env.run()
+    assert ev.processed
+    assert not ev.cancel()
+    assert not ev.cancelled
+
+
+def test_cancel_withdraws_triggered_unprocessed_event():
+    # A succeed()ed event nobody waits on may still be withdrawn before
+    # the scheduler reaches it; the pop loop then discards it.
+    env = Environment()
+    ev = env.event()
+    ev.succeed("dropped")
+    assert ev.cancel()
+    env.run()
+    assert ev.cancelled
+
+
+def test_cancelled_event_cannot_trigger():
+    env = Environment()
+    ev = env.event()
+    assert ev.cancel()
+    with pytest.raises(EventAlreadyTriggered):
+        ev.succeed()
+    with pytest.raises(EventAlreadyTriggered):
+        ev.fail(RuntimeError("late"))
+
+
+def test_peek_skips_cancelled_head():
+    env = Environment()
+    head = env.timeout(5)
+    env.timeout(30)
+    head.cancel()
+    assert env.peek() == 30
+
+
+def test_run_until_time_skips_cancelled_head():
+    env = Environment()
+    head = env.timeout(5)
+    done = []
+
+    def proc():
+        yield env.timeout(10)
+        done.append(env.now)
+
+    env.process(proc())
+    head.cancel()
+    env.run(until=50)
+    assert done == [10]
+    assert env.now == 50
+
+
+def test_anyof_cancels_losing_timeout():
+    env = Environment()
+    results = []
+
+    def kick(winner):
+        yield env.timeout(5)
+        winner.succeed("won")
+
+    def proc():
+        winner = env.event()
+        loser = env.timeout(1000)
+        env.process(kick(winner))
+        res = yield env.any_of([winner, loser])
+        results.append((env.now, list(res.values())))
+        assert loser.cancelled
+
+    env.process(proc())
+    env.run()
+    assert results == [(5, ["won"])]
+    # The orphaned loser never advanced the clock when skipped.
+    assert env.now == 5
+
+
+def test_interrupt_cancels_orphaned_timer():
+    env = Environment()
+    from repro.sim import Interrupt
+
+    def victim():
+        try:
+            yield env.timeout(1000)
+        except Interrupt:
+            pass
+        yield env.timeout(5)
+
+    def attacker(proc):
+        yield env.timeout(10)
+        proc.interrupt("stop")
+
+    proc = env.process(victim())
+    env.process(attacker(proc))
+    env.run()
+    assert env.now == 15  # not 1000: the preempted timer was cancelled
+
+
+def test_process_waiting_on_cancelled_event_fails():
+    env = Environment()
+    ev = env.event()
+    ev.cancel()
+
+    def proc():
+        yield ev
+
+    started = env.process(proc())
+    with pytest.raises(RuntimeError, match="cancelled"):
+        env.run()
+    assert not started.is_alive
+
+
+def test_timeout_freelist_reuses_objects():
+    env = Environment()
+    seen = []
+
+    def proc():
+        for _ in range(3):
+            timer = env.timeout(10)
+            seen.append(id(timer))
+            yield timer
+
+    env.process(proc())
+    env.run()
+    assert env.now == 30
+    # Processed timers return to the pool, so at least one id repeats.
+    assert len(set(seen)) < 3
+
+
+def test_freelist_timer_behaves_like_fresh_timeout():
+    env = Environment()
+    values = []
+
+    def proc():
+        first = env.timeout(3, value="a")
+        values.append((yield first))
+        second = env.timeout(4, value="b")
+        values.append((yield second))
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    env.process(proc())
+    env.run()
+    assert values == ["a", "b"]
+    assert env.now == 7
+
+
+# ---------------------------------------------------------------------------
+# run(until=event) on already-processed events.
+
+
+def test_run_until_already_processed_event_returns_value():
+    env = Environment()
+    timer = env.timeout(5, value="done")
+    env.run(until=20)
+    assert timer.processed
+    assert env.run(until=timer) == "done"
+
+
+def test_run_until_already_failed_event_reraises():
+    env = Environment()
+    boom = env.event()
+
+    def failer():
+        yield env.timeout(5)
+        boom.fail(RuntimeError("boom"))
+
+    def waiter():
+        try:
+            yield boom
+        except RuntimeError:
+            pass  # defuses the failure
+
+    env.process(waiter())
+    env.process(failer())
+    env.run(until=20)
+    assert boom.processed and not boom.ok
+    with pytest.raises(RuntimeError, match="boom"):
+        env.run(until=boom)
+
+
+def test_run_until_cancelled_event_raises():
+    env = Environment()
+    timer = env.timeout(5)
+    timer.cancel()
+    with pytest.raises(RuntimeError):
+        env.run(until=timer)
