@@ -10,21 +10,25 @@ Commands::
                          profile)
     report <experiment>  run one experiment and print/write a Markdown
                          run report (top event kinds, stage latencies,
-                         fault timeline)
+                         fault timeline); ``report --history`` renders
+                         the cross-run perf trajectory instead
     all [--fast]         regenerate EXPERIMENTS.md
     info                 print the calibration table
     chaos                one deterministic fault-injection run
                          (``--seed N --plan agent-crash``; same seed,
                          same plan => byte-identical output)
     perf                 kernel + end-to-end perf microbenchmarks;
-                         writes BENCH_perf.json (``--check`` gates on
-                         the committed baseline)
+                         appends to BENCH_perf.json's history
+                         (``--check`` gates on the committed baseline,
+                         ``--compare [N]`` renders the trend)
 
 ``run``, ``report``, and ``all`` accept ``--jobs N`` to fan an
 experiment's independent load points across N worker processes
-(``--jobs -1`` uses every core). Reports are byte-identical at any
-jobs value; telemetry-instrumented runs (``--trace``/``--metrics``/
-``--profile``/``report``) fall back to serial execution.
+(``--jobs -1`` uses every core). Telemetry-instrumented runs
+(``--trace``/``--metrics``/``--profile``/``report``) use the pool
+too: each worker records into its own telemetry shard and the parent
+merges them in submission order, so traces, metrics digests, and
+reports are byte-identical at any jobs value.
 """
 
 from __future__ import annotations
@@ -94,8 +98,8 @@ def cmd_run(name: str, fast: bool, trace: str = None, metrics: str = None,
     profiler = LoopProfiler() if profile else None
     telemetry = Telemetry(profiler=profiler)
     with telemetry:
-        # run_points() sees the installed telemetry hub and runs the
-        # points serially, so the instrumented run stays fully observed.
+        # run_points() ships per-worker telemetry shards back to this
+        # hub, so the instrumented run stays fully observed in the pool.
         print(module.run(**_run_kwargs(module, fast, jobs)).render())
     if trace:
         n_events = write_chrome_trace(telemetry, trace)
@@ -105,6 +109,25 @@ def cmd_run(name: str, fast: bool, trace: str = None, metrics: str = None,
         print(f"metrics: digest {digest} -> {metrics}", file=sys.stderr)
     if profiler is not None:
         print(profiler.table(), file=sys.stderr)
+    return 0
+
+
+def cmd_history(out: str = None, last: int = None,
+                perf_path: str = "BENCH_perf.json") -> int:
+    from repro.bench.trajectory import load_perf, render_trend
+    perf = load_perf(perf_path)
+    if perf is None:
+        print(f"no perf artifact at {perf_path}; run `python -m repro "
+              "perf` first", file=sys.stderr)
+        return 1
+    text = render_trend(perf.get("history") or [],
+                        baseline=perf.get("pre_pr_baseline"), last=last)
+    if out:
+        with open(out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"history report -> {out}")
+    else:
+        print(text)
     return 0
 
 
@@ -137,9 +160,15 @@ def cmd_all(fast: bool, jobs: int = None) -> int:
     return 0
 
 
-def cmd_perf(fast: bool, check: bool, out: str, jobs: int = None) -> int:
+def cmd_perf(fast: bool, check: bool, out: str, jobs: int = None,
+             repeats: int = 3, compare=None) -> int:
+    if compare is not None:
+        from repro.bench.trajectory import compare_main
+        return compare_main(out_path=out,
+                            last=compare if compare > 0 else None)
     from repro.bench.perf import main as perf_main
-    return perf_main(fast=fast, check=check, out=out, jobs=jobs)
+    return perf_main(fast=fast, check=check, out=out, jobs=jobs,
+                     repeats=repeats)
 
 
 def cmd_chaos(plan: str, seed: int, fast: bool) -> int:
@@ -181,8 +210,14 @@ def main(argv=None) -> int:
                             "(-1 = all cores)")
     report_p = sub.add_parser(
         "report", help="run one experiment and emit a Markdown run report")
-    report_p.add_argument("experiment")
+    report_p.add_argument("experiment", nargs="?", default=None)
     report_p.add_argument("--fast", action="store_true")
+    report_p.add_argument("--history", action="store_true",
+                          help="render the cross-run perf trajectory from "
+                               "BENCH_perf.json instead of running an "
+                               "experiment")
+    report_p.add_argument("--last", type=int, default=None, metavar="N",
+                          help="with --history: only the newest N entries")
     report_p.add_argument("--out", metavar="PATH",
                           help="write the report here instead of stdout")
     report_p.add_argument("--jobs", type=int, default=None, metavar="N",
@@ -203,6 +238,13 @@ def main(argv=None) -> int:
                              ">30%% below the committed baseline")
     perf_p.add_argument("--out", metavar="PATH", default="BENCH_perf.json")
     perf_p.add_argument("--jobs", type=int, default=None, metavar="N")
+    perf_p.add_argument("--repeats", type=int, default=3, metavar="N",
+                        help="kernel microbench repetitions (best-of-N)")
+    perf_p.add_argument("--compare", type=int, nargs="?", const=0,
+                        default=None, metavar="N",
+                        help="render the recorded perf trajectory (last N "
+                             "entries; all if N omitted) without "
+                             "re-benchmarking")
     sub.add_parser("info", help="print version + calibration table")
     chaos_p = sub.add_parser(
         "chaos", help="deterministic fault-injection run")
@@ -219,12 +261,19 @@ def main(argv=None) -> int:
                        metrics=args.metrics, profile=args.profile,
                        jobs=args.jobs)
     if args.command == "report":
+        if args.history:
+            return cmd_history(out=args.out, last=args.last)
+        if args.experiment is None:
+            print("report: an experiment name is required unless "
+                  "--history is given", file=sys.stderr)
+            return 2
         return cmd_report(args.experiment, args.fast, out=args.out,
                           jobs=args.jobs)
     if args.command == "all":
         return cmd_all(args.fast, jobs=args.jobs)
     if args.command == "perf":
-        return cmd_perf(args.fast, args.check, args.out, jobs=args.jobs)
+        return cmd_perf(args.fast, args.check, args.out, jobs=args.jobs,
+                        repeats=args.repeats, compare=args.compare)
     if args.command == "info":
         return cmd_info()
     if args.command == "chaos":

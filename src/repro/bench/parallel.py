@@ -9,14 +9,34 @@ across a ``multiprocessing`` pool and merges the results back **in
 deterministic submission order**, so a sweep at ``--jobs 4`` is
 byte-identical to the same sweep at ``--jobs 1``.
 
-Guard rails (each silently degrades to the serial path):
+Telemetry is parallel-safe: when a hub is installed (``repro run
+--trace/--metrics/--profile``, ``repro report``), every pool worker
+installs a fresh per-process hub built from the parent's
+:meth:`~repro.obs.spans.Telemetry.shard_config`, runs its point fully
+instrumented, and returns a picklable
+:class:`~repro.obs.shard.TelemetryShard` alongside the point result.
+The parent absorbs shards in submission order, renumbering run
+indices/labels, so the merged metrics dump, Perfetto trace, and run
+report are byte-identical to a serial instrumented sweep. Worker
+identity never reaches an exported artifact; it lives on the merged
+run's ``worker`` attribute and in the ``sweep.worker.*`` health metrics
+(:func:`sweep_health`).
 
-- ``jobs <= 1`` or a single point: no pool, no overhead.
-- A globally installed telemetry hub (``repro run --trace/--metrics``):
-  child processes cannot feed the parent's hub, so instrumented runs
-  stay single-process to keep traces complete.
+While a pool sweep runs, workers send start/done heartbeats that drive
+a stderr progress line (points done/total, events/sec, per-worker
+status -- see :mod:`repro.bench.progress`) and stall detection: a point
+running past ``REPRO_STALL_S`` (default 300 s) is reported instead of
+hanging the sweep silently.
+
+Guard rails:
+
+- ``jobs <= 1`` or a single point: no pool, no overhead; instrumented
+  runs feed the parent hub directly (the classic serial path).
 - Unpicklable specs (e.g. a closure factory or a ``request_sink``
-  list): the pool would fail mid-flight, so they are detected up front.
+  list): the pool would fail mid-flight, so they are detected up front
+  and the sweep degrades to serial -- **loudly**: a one-time stderr
+  warning plus a ``sweep.fallback`` counter, because silently losing
+  ``--jobs`` hides real wall-clock regressions.
 
 Workers prefer the ``fork`` start method where available (cheap, and
 inherits the imported modules); elsewhere the platform default is used.
@@ -28,7 +48,15 @@ import dataclasses
 import multiprocessing
 import os
 import pickle
+import queue as queue_mod
+import sys
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Parent-side poll period while waiting on the pool (heartbeat drain,
+#: progress redraw, stall checks).
+_POLL_S = 0.2
 
 
 @dataclasses.dataclass(frozen=True)
@@ -37,20 +65,23 @@ class PointSpec:
 
     ``fn`` must be importable by reference (a module-level function,
     class, or classmethod) and its arguments plain data -- which every
-    ``run_*_point`` entry point in this repo satisfies.
+    ``run_*_point`` entry point in this repo satisfies. ``label`` is
+    presentation only (the progress line); it never affects results or
+    telemetry artifacts.
     """
 
     fn: Callable[..., Any]
     args: Tuple = ()
     kwargs: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    label: str = ""
 
     def __call__(self) -> Any:
         return self.fn(*self.args, **self.kwargs)
 
-
-def _call_spec(spec: PointSpec) -> Any:
-    """Top-level worker entry (must itself be picklable)."""
-    return spec()
+    def display(self) -> str:
+        if self.label:
+            return self.label
+        return getattr(self.fn, "__name__", "point")
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -77,6 +108,116 @@ def _pool_context():
         return multiprocessing.get_context()
 
 
+# -- sweep health (structured progress/fallback metrics) ---------------------
+
+#: Registry behind :func:`sweep_health`. Deliberately separate from any
+#: telemetry hub: worker identity and fallback events are host-run
+#: facts, and folding them into a run's registry would break the
+#: ``--jobs 1`` vs ``--jobs N`` digest-parity contract.
+_HEALTH = MetricsRegistry()
+
+_warned_unpicklable = False
+
+
+def sweep_health() -> MetricsRegistry:
+    """The process-wide ``sweep.*`` metric family: pool runs, per-worker
+    point/heartbeat/event counts, stall and fallback counters."""
+    return _HEALTH
+
+
+def reset_sweep_health() -> MetricsRegistry:
+    """Swap in a fresh health registry (tests); returns the new one."""
+    global _HEALTH
+    _HEALTH = MetricsRegistry()
+    return _HEALTH
+
+
+def _note_unpicklable_fallback(n_points: int) -> None:
+    global _warned_unpicklable
+    _HEALTH.counter("sweep.fallback", reason="unpicklable").incr()
+    if not _warned_unpicklable:
+        _warned_unpicklable = True
+        print("repro.bench.parallel: point specs are not picklable; "
+              f"running {n_points} point(s) serially (--jobs ignored). "
+              "Pass module-level callables and plain-data arguments to "
+              "keep the process pool available.", file=sys.stderr)
+
+
+# -- worker side -------------------------------------------------------------
+
+_WORKER_HB = None
+_WORKER_TEL_CFG = None
+
+
+def _init_worker(hb_queue, tel_config) -> None:
+    """Pool initializer: stash the heartbeat queue + telemetry config.
+
+    A forked worker also inherits the parent's *installed* hub; feeding
+    it would silently discard telemetry (the copy never returns), so it
+    is cleared here and replaced per point in :func:`_run_spec_sharded`.
+    """
+    global _WORKER_HB, _WORKER_TEL_CFG
+    _WORKER_HB = hb_queue
+    _WORKER_TEL_CFG = tel_config
+    from repro.sim import core as sim_core
+    sim_core.set_default_telemetry(None)
+
+
+def _heartbeat(kind: str, index: int, events: int) -> None:
+    if _WORKER_HB is None:
+        return
+    try:
+        _WORKER_HB.put((kind, index, os.getpid(), events))
+    except Exception:  # a broken channel must never fail the point
+        pass
+
+
+def _run_spec_sharded(item: Tuple[int, PointSpec]):
+    """Worker entry: run one point, instrumented when configured.
+
+    Returns ``(result, shard_or_None)``; the shard carries everything a
+    fresh per-process hub collected for this point.
+    """
+    index, spec = item
+    _heartbeat("start", index, 0)
+    if _WORKER_TEL_CFG is None:
+        result = spec()
+        _heartbeat("done", index, 0)
+        return result, None
+    from repro.obs.spans import Telemetry
+    hub = Telemetry.from_shard_config(_WORKER_TEL_CFG)
+    hub.install()
+    try:
+        result = spec()
+    finally:
+        hub.uninstall()
+    shard = hub.shard()
+    _heartbeat("done", index, shard.events_scheduled)
+    return result, shard
+
+
+# -- parent side -------------------------------------------------------------
+
+def _drain_heartbeats(hb_queue, progress) -> None:
+    while True:
+        try:
+            kind, index, pid, events = hb_queue.get_nowait()
+        except queue_mod.Empty:
+            return
+        except (OSError, EOFError):  # pragma: no cover -- pool teardown
+            return
+        slot = progress.worker_slot(pid)
+        _HEALTH.counter("sweep.worker.heartbeats", worker=str(slot)).incr()
+        if kind == "start":
+            progress.start(index, slot)
+        else:
+            progress.finish(index, slot, events)
+            _HEALTH.counter("sweep.worker.points", worker=str(slot)).incr()
+            if events:
+                _HEALTH.counter("sweep.worker.events",
+                                worker=str(slot)).incr(events)
+
+
 def run_points(specs: Iterable[PointSpec],
                jobs: Optional[int] = None) -> List[Any]:
     """Run every spec; results in submission order regardless of which
@@ -86,16 +227,46 @@ def run_points(specs: Iterable[PointSpec],
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(specs) <= 1:
         return [spec() for spec in specs]
-    from repro.sim.core import default_telemetry
-    if default_telemetry() is not None:
-        return [spec() for spec in specs]
     if not _picklable(specs):
+        _note_unpicklable_fallback(len(specs))
         return [spec() for spec in specs]
+    from repro.sim.core import default_telemetry
+    hub = default_telemetry()
+    tel_cfg = hub.shard_config() if hub is not None else None
+
+    from repro.bench.progress import SweepProgress
     ctx = _pool_context()
-    with ctx.Pool(processes=min(jobs, len(specs))) as pool:
-        # chunksize=1: points are seconds-long sims, so scheduling
-        # granularity beats batching.
-        return pool.map(_call_spec, specs, chunksize=1)
+    hb_queue = ctx.Queue()
+    n_workers = min(jobs, len(specs))
+    progress = SweepProgress(total=len(specs), jobs=n_workers,
+                             labels=[spec.display() for spec in specs])
+    _HEALTH.counter("sweep.pool.runs").incr()
+    _HEALTH.gauge("sweep.pool.jobs").set(n_workers)
+    try:
+        with ctx.Pool(processes=n_workers, initializer=_init_worker,
+                      initargs=(hb_queue, tel_cfg)) as pool:
+            # chunksize=1: points are seconds-long sims, so scheduling
+            # granularity beats batching.
+            pending = pool.map_async(_run_spec_sharded,
+                                     list(enumerate(specs)), chunksize=1)
+            while True:
+                pending.wait(_POLL_S)
+                _drain_heartbeats(hb_queue, progress)
+                for _ in progress.tick():
+                    _HEALTH.counter("sweep.point.stalls").incr()
+                if pending.ready():
+                    break
+            pairs = pending.get()
+        _drain_heartbeats(hb_queue, progress)
+    finally:
+        progress.close()
+
+    results = []
+    for index, (result, shard) in enumerate(pairs):
+        results.append(result)
+        if shard is not None and hub is not None:
+            hub.absorb(shard, worker=progress.point_worker.get(index))
+    return results
 
 
 def parallel_map(fn: Callable[..., Any], arg_tuples: Iterable[Tuple],

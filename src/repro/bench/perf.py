@@ -18,7 +18,14 @@ only when the fresh kernel events/sec falls more than 30% below the
 committed figure, so CI catches real kernel regressions without
 flaking on runner-speed noise.
 
-Run as ``python -m repro perf [--fast] [--check] [--jobs N]``.
+Every run also appends a timestamped entry to the artifact's
+``history`` array (schema ``wave-repro-perf/2``), giving a cross-run
+perf *trajectory* rather than a single point;
+``python -m repro perf --compare [N]`` renders it (see
+:mod:`repro.bench.trajectory`).
+
+Run as ``python -m repro perf [--fast] [--check] [--jobs N]
+[--repeats N] [--compare [N]]``.
 """
 
 from __future__ import annotations
@@ -128,8 +135,10 @@ def measure_fig4a(jobs: Optional[int] = None) -> float:
 
 
 def main(fast: bool = False, check: bool = False,
-         out: str = "BENCH_perf.json", jobs: Optional[int] = None) -> int:
+         out: str = "BENCH_perf.json", jobs: Optional[int] = None,
+         repeats: int = 3) -> int:
     from repro.bench.parallel import resolve_jobs
+    from repro.bench.trajectory import append_history, carry_history
 
     committed = None
     if check:
@@ -146,12 +155,12 @@ def main(fast: bool = False, check: bool = False,
 
     print("kernel microbench (timeout chains + any_of racers + "
           "interrupts) ...", flush=True)
-    kernel = measure_kernel()
+    kernel = measure_kernel(repeats=max(1, repeats))
     print(f"  events_scheduled={kernel['events_scheduled']:,} "
           f"best={kernel['events_per_sec']:,} ev/s", flush=True)
 
     result = {
-        "schema": "wave-repro-perf/1",
+        "schema": "wave-repro-perf/2",
         "host": {
             "cpu_count": os.cpu_count(),
             "python": platform.python_version(),
@@ -183,10 +192,17 @@ def main(fast: bool = False, check: bool = False,
                   flush=True)
         result["fig4a_fast"] = fig4a
 
+    # Cross-run trajectory: extend the prior artifact's history (never
+    # rewrite it) with this run, timestamped in UTC.
+    timestamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    result["history"] = append_history(carry_history(out), result,
+                                       timestamp)
+
     with open(out, "w") as fh:
         json.dump(result, fh, indent=2, sort_keys=True)
         fh.write("\n")
-    print(f"wrote {out}")
+    print(f"wrote {out} ({len(result['history'])} history "
+          f"{'entry' if len(result['history']) == 1 else 'entries'})")
 
     if check:
         base = (committed or {}).get("kernel", {}).get("events_per_sec") \
@@ -210,4 +226,6 @@ if __name__ == "__main__":
         out=next((argv[i + 1] for i, a in enumerate(argv) if a == "--out"),
                  "BENCH_perf.json"),
         jobs=next((int(argv[i + 1]) for i, a in enumerate(argv)
-                   if a == "--jobs"), None)))
+                   if a == "--jobs"), None),
+        repeats=next((int(argv[i + 1]) for i, a in enumerate(argv)
+                      if a == "--repeats"), 3)))

@@ -7,6 +7,8 @@ Per-iteration agent loop duration (ms) for 1-16 agent cores, Wave
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.bench.reporting import ExperimentReport
 from repro.mem.experiment import sol_duration_table
 
@@ -18,13 +20,13 @@ PAPER = {1: (1018, 623), 2: (576, 431), 4: (437, 354),
 FAST_BYTES = 8 * 1024 ** 3
 
 
-def run(fast: bool = True) -> ExperimentReport:
+def run(fast: bool = True, jobs: Optional[int] = None) -> ExperimentReport:
     """Run the experiment; returns a paper-vs-measured report."""
     core_counts = (1, 4, 16) if fast else (1, 2, 4, 8, 16)
     total_bytes = FAST_BYTES if fast else None
     rows = []
     for entry in sol_duration_table(core_counts=list(core_counts),
-                                    total_bytes=total_bytes):
+                                    total_bytes=total_bytes, jobs=jobs):
         paper_wave, paper_host = PAPER[entry.n_cores]
         rows.append((entry.n_cores,
                      f"{entry.wave_ms:,.0f}", f"{paper_wave:,}",

@@ -1,0 +1,193 @@
+"""Cross-run performance trajectory: history in ``BENCH_perf.json``.
+
+``python -m repro perf`` used to overwrite ``BENCH_perf.json`` with a
+single snapshot; regressions could only be judged against one pinned
+number. This module turns the file into a *trajectory*: every perf run
+appends a timestamped entry to a bounded ``history`` array (the live
+snapshot and the ``pre_pr_baseline`` pin are preserved unchanged, so
+the CI perf-smoke gate keeps reading the same keys), and
+
+- ``python -m repro perf --compare [N]`` renders the last N entries as
+  a Markdown trend table plus an ASCII plot of kernel events/sec and
+  fig4a sweep wall-clock across runs, and
+- ``python -m repro report --history`` emits the same trend as a
+  standalone Markdown report.
+
+History entries are plain scalars (no nested run arrays) so the file
+stays small: :data:`HISTORY_LIMIT` runs at ~10 lines each.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Optional
+
+from repro.bench.ascii_plot import render_curves
+from repro.obs.report import md_table
+
+#: Bound on the ``history`` array; the oldest entries fall off first.
+HISTORY_LIMIT = 200
+
+
+def history_entry(result: dict, timestamp: str) -> dict:
+    """Flatten one perf ``result`` dict into a history entry."""
+    kernel = result.get("kernel") or {}
+    fig4a = result.get("fig4a_fast") or {}
+    host = result.get("host") or {}
+    return {
+        "ts": timestamp,
+        "kernel_events_per_sec": kernel.get("events_per_sec"),
+        "kernel_events_scheduled": kernel.get("events_scheduled"),
+        "fig4a_serial_wall_s": fig4a.get("serial_wall_s"),
+        "fig4a_parallel_wall_s": fig4a.get("parallel_wall_s"),
+        "jobs": fig4a.get("jobs"),
+        "host_cpu_count": host.get("cpu_count"),
+        "python": host.get("python"),
+    }
+
+
+def load_perf(path: str) -> Optional[dict]:
+    """The parsed perf artifact at ``path``, or None."""
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def carry_history(out_path: str,
+                  fallback_path: str = "BENCH_perf.json") -> List[dict]:
+    """The history to extend: the out file's, else the committed
+    artifact's (so a CI run writing ``BENCH_perf_ci.json`` still shows
+    the repo's trajectory), else empty."""
+    for path in (out_path, fallback_path):
+        prior = load_perf(path)
+        if prior and isinstance(prior.get("history"), list):
+            return list(prior["history"])
+        if prior is not None:
+            # A pre-trajectory (schema 1) artifact: seed the history
+            # with its snapshot so the first trend has two points.
+            entry = history_entry(prior, timestamp="(pre-history)")
+            if entry["kernel_events_per_sec"]:
+                return [entry]
+            return []
+    return []
+
+
+def append_history(history: List[dict], result: dict,
+                   timestamp: str) -> List[dict]:
+    """History plus this run, oldest-first, bounded."""
+    out = list(history) + [history_entry(result, timestamp)]
+    return out[-HISTORY_LIMIT:]
+
+
+def _fmt_delta(current: Optional[float], base: Optional[float]) -> str:
+    if not current or not base:
+        return "-"
+    return f"{100.0 * (current / base - 1.0):+.1f}%"
+
+
+def _fmt_num(value, suffix: str = "") -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float) and value != int(value):
+        return f"{value:,.2f}{suffix}"
+    return f"{value:,.0f}{suffix}"
+
+
+def render_trend(history: List[dict], baseline: Optional[dict] = None,
+                 last: Optional[int] = None,
+                 title: str = "perf trajectory") -> str:
+    """Markdown + ASCII trend of kernel events/sec and sweep wall-clock.
+
+    ``baseline`` is the ``pre_pr_baseline`` pin (rendered as a
+    reference row); ``last`` keeps only the newest N entries.
+    """
+    entries = list(history)
+    if last is not None and last > 0:
+        entries = entries[-last:]
+    out: List[str] = [f"# {title}", ""]
+    if not entries:
+        out.append("No history yet: run `python -m repro perf` to record "
+                   "the first entry.")
+        return "\n".join(out)
+
+    first_ev = next((e.get("kernel_events_per_sec") for e in entries
+                     if e.get("kernel_events_per_sec")), None)
+    out.append(f"- runs: {len(entries)} (of {len(history)} recorded)")
+    pin = (baseline or {}).get("kernel_events_per_sec")
+    if pin:
+        out.append(f"- pre-PR baseline pin: {pin:,} kernel ev/s")
+    out.append("")
+    out.append("## Kernel events/sec and sweep wall-clock by run")
+    out.append("")
+    rows = []
+    prev_ev = None
+    for index, entry in enumerate(entries):
+        ev = entry.get("kernel_events_per_sec")
+        rows.append([
+            str(index),
+            str(entry.get("ts", "-")),
+            _fmt_num(ev),
+            _fmt_delta(ev, prev_ev),
+            _fmt_delta(ev, first_ev) if index else "-",
+            _fmt_num(entry.get("fig4a_serial_wall_s"), "s"),
+            _fmt_num(entry.get("fig4a_parallel_wall_s"), "s"),
+        ])
+        if ev:
+            prev_ev = ev
+    out.append(md_table(
+        ["run", "timestamp", "kernel ev/s", "vs prev", "vs first",
+         "fig4a serial", "fig4a --jobs"],
+        rows))
+    out.append("")
+
+    ev_points = [(float(i), float(e["kernel_events_per_sec"]))
+                 for i, e in enumerate(entries)
+                 if e.get("kernel_events_per_sec")]
+    if len(ev_points) >= 2:
+        series = {"kernel": ev_points}
+        if pin:
+            series["pre-PR pin"] = [(p[0], float(pin)) for p in ev_points]
+        out.append("```")
+        out.append(render_curves(series, x_label="run",
+                                 y_label="events/sec"))
+        out.append("```")
+        out.append("")
+    wall_series = {}
+    for key, name in (("fig4a_serial_wall_s", "serial"),
+                      ("fig4a_parallel_wall_s", "--jobs")):
+        pts = [(float(i), float(e[key])) for i, e in enumerate(entries)
+               if e.get(key)]
+        if len(pts) >= 2:
+            wall_series[name] = pts
+    if wall_series:
+        out.append("## Sweep wall-clock (s) by run")
+        out.append("")
+        out.append("```")
+        out.append(render_curves(wall_series, x_label="run",
+                                 y_label="wall s"))
+        out.append("```")
+        out.append("")
+    return "\n".join(out)
+
+
+def compare_main(out_path: str = "BENCH_perf.json",
+                 last: Optional[int] = None) -> int:
+    """`repro perf --compare [N]`: print the trend for an existing
+    artifact without re-running any benchmark."""
+    perf = load_perf(out_path)
+    if perf is None and out_path != "BENCH_perf.json":
+        perf = load_perf("BENCH_perf.json")
+    if perf is None:
+        print(f"no perf artifact at {out_path}; run `python -m repro "
+              "perf` first")
+        return 1
+    history = perf.get("history") or [
+        history_entry(perf, timestamp="(snapshot)")]
+    print(render_trend(history, baseline=perf.get("pre_pr_baseline"),
+                       last=last))
+    return 0

@@ -9,6 +9,19 @@ from typing import Any
 _seq = itertools.count()
 
 
+def _reset_seq():
+    global _seq
+    _seq = itertools.count()
+
+
+# Per-run message sequence numbers (see
+# repro.sim.core.register_run_id_reset): labelling only, reset at every
+# Environment construction.
+from repro.sim.core import register_run_id_reset  # noqa: E402
+
+register_run_id_reset(_reset_seq)
+
+
 @dataclasses.dataclass
 class Message:
     """One state-update message (e.g. "thread 7 blocked").

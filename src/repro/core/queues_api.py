@@ -22,6 +22,18 @@ from repro.queues.ring import FloemRing
 _queue_ids = itertools.count(1)
 
 
+def _reset_queue_ids():
+    global _queue_ids
+    _queue_ids = itertools.count(1)
+
+
+# Per-run queue ids (see repro.sim.core.register_run_id_reset):
+# labelling only, reset at every Environment construction.
+from repro.sim.core import register_run_id_reset  # noqa: E402
+
+register_run_id_reset(_reset_queue_ids)
+
+
 @dataclasses.dataclass
 class QueueBinding:
     """ASSOC_QUEUE_WITH(): who produces and who consumes a queue."""

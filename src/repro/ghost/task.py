@@ -10,6 +10,19 @@ from typing import Any, Optional
 _tids = itertools.count(1)
 
 
+def _reset_tids():
+    global _tids
+    _tids = itertools.count(1)
+
+
+# Task ids restart at 1 for every new Environment: labelling only (the
+# cross---jobs byte-identity tests pin that), and per-run ids are what
+# keep worker-shard telemetry identical to a serial sweep's.
+from repro.sim.core import register_run_id_reset  # noqa: E402
+
+register_run_id_reset(_reset_tids)
+
+
 class TaskState(enum.Enum):
     RUNNABLE = "runnable"
     RUNNING = "running"

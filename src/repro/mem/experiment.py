@@ -60,20 +60,43 @@ def run_sol_agent(placement: MemAgentPlacement, n_cores: int,
     return agent
 
 
+def _sol_duration_point(placement: MemAgentPlacement, n_cores: int,
+                        total_bytes: int, seed: int) -> float:
+    """One (placement, core-count) cell of the duration table.
+
+    Returns the plain steady-state iteration duration (ms) rather than
+    the agent itself, so the point is picklable and the table's cells
+    can fan out across the ``--jobs`` process pool.
+    """
+    agent = run_sol_agent(placement, n_cores, total_bytes=total_bytes,
+                          seed=seed)
+    return agent.steady_state_duration_ms()
+
+
 def sol_duration_table(core_counts: List[int] = (1, 2, 4, 8, 16),
                        total_bytes: int = None,
-                       seed: int = 0) -> List[SolDurationRow]:
-    """The section 7.4.2 apples-to-apples duration table."""
-    rows = []
+                       seed: int = 0,
+                       jobs: Optional[int] = None) -> List[SolDurationRow]:
+    """The section 7.4.2 apples-to-apples duration table.
+
+    Every (placement, core-count) cell is an independent simulation;
+    ``jobs > 1`` runs them through the process pool, with rows
+    reassembled in core-count order.
+    """
+    from repro.bench.parallel import PointSpec, run_points
+    specs = []
     for n in core_counts:
-        wave = run_sol_agent(MemAgentPlacement.NIC, n,
-                             total_bytes=total_bytes, seed=seed)
-        onhost = run_sol_agent(MemAgentPlacement.HOST, n,
-                               total_bytes=total_bytes, seed=seed)
+        for placement in (MemAgentPlacement.NIC, MemAgentPlacement.HOST):
+            specs.append(PointSpec(
+                _sol_duration_point, (placement, n, total_bytes, seed),
+                label=f"sol {placement.value} cores={n}"))
+    durations = run_points(specs, jobs=jobs)
+    rows = []
+    for i, n in enumerate(core_counts):
         rows.append(SolDurationRow(
             n_cores=n,
-            wave_ms=wave.steady_state_duration_ms(),
-            onhost_ms=onhost.steady_state_duration_ms(),
+            wave_ms=durations[2 * i],
+            onhost_ms=durations[2 * i + 1],
         ))
     return rows
 

@@ -28,6 +28,7 @@ from repro.obs.metrics import (
     render_key,
 )
 from repro.obs.spans import RunTelemetry, Span, SpanLog, Telemetry
+from repro.obs.shard import RunShard, TelemetryShard, absorb_into, shard_from
 from repro.obs.export import (
     chrome_trace_events,
     metrics_digest,
@@ -49,9 +50,13 @@ __all__ = [
     "TimeWeightedMetric",
     "render_key",
     "RunTelemetry",
+    "RunShard",
     "Span",
     "SpanLog",
     "Telemetry",
+    "TelemetryShard",
+    "absorb_into",
+    "shard_from",
     "chrome_trace_events",
     "metrics_digest",
     "metrics_dump",

@@ -15,6 +15,13 @@ records is a pure function of the simulation, so :meth:`MetricsRegistry.dump`
 is byte-stable across same-seed runs and :meth:`MetricsRegistry.digest`
 is the determinism check CI leans on.
 
+Registries are picklable (a sweep worker ships its registry back to the
+parent inside a :class:`~repro.obs.shard.TelemetryShard`) and mergeable
+(:meth:`MetricsRegistry.merge` folds one registry into another metric by
+metric). Time-weighted metrics need a live environment to keep
+integrating, so pickling freezes them into :class:`_FrozenTimeWeighted`
+stand-ins that render byte-identically but no longer advance.
+
 When telemetry is disabled nothing constructs a registry at all (the
 ``env.telemetry`` attribute is ``None`` and every instrumentation site
 guards on that); :class:`NullMetricsRegistry` additionally provides a
@@ -59,6 +66,7 @@ class CounterMetric:
     """Monotonic counter."""
 
     __slots__ = ("key", "value")
+    kind = "counter"
 
     def __init__(self, key: MetricKey):
         self.key = key
@@ -66,6 +74,15 @@ class CounterMetric:
 
     def incr(self, by: int = 1) -> None:
         self.value += by
+
+    def copy(self) -> "CounterMetric":
+        out = CounterMetric(self.key)
+        out.value = self.value
+        return out
+
+    def merge(self, other: "CounterMetric") -> "CounterMetric":
+        self.value += other.value
+        return self
 
     def sample_lines(self) -> List[Tuple[str, str]]:
         return [(render_key(self.key), _fmt(self.value))]
@@ -75,6 +92,7 @@ class GaugeMetric:
     """Last-written value."""
 
     __slots__ = ("key", "value")
+    kind = "gauge"
 
     def __init__(self, key: MetricKey):
         self.key = key
@@ -86,6 +104,17 @@ class GaugeMetric:
     def add(self, delta: float) -> None:
         self.value += delta
 
+    def copy(self) -> "GaugeMetric":
+        out = GaugeMetric(self.key)
+        out.value = self.value
+        return out
+
+    def merge(self, other: "GaugeMetric") -> "GaugeMetric":
+        # Gauges are last-written values; the merged-in side is "newer"
+        # by convention, so merging is not commutative (documented).
+        self.value = other.value
+        return self
+
     def sample_lines(self) -> List[Tuple[str, str]]:
         return [(render_key(self.key), _fmt(self.value))]
 
@@ -94,6 +123,7 @@ class TimeWeightedMetric:
     """Piecewise-constant value with a simulated-time integral."""
 
     __slots__ = ("key", "_tw")
+    kind = "timeweighted"
 
     def __init__(self, key: MetricKey, env):
         self.key = key
@@ -121,6 +151,53 @@ class TimeWeightedMetric:
         return [(f"{base}:last", _fmt(self._tw.value)),
                 (f"{base}:integral", _fmt(self._tw.integral))]
 
+    def copy(self) -> "_FrozenTimeWeighted":
+        return _FrozenTimeWeighted(self.key, self.value, self.integral)
+
+    def __reduce__(self):
+        # The live metric holds a TimeWeightedValue (and through it an
+        # Environment full of generators); pickling freezes it at the
+        # current simulated time, which renders byte-identically.
+        return _FrozenTimeWeighted, (self.key, self.value, self.integral)
+
+
+class _FrozenTimeWeighted:
+    """A :class:`TimeWeightedMetric` detached from its environment.
+
+    Produced by pickling (sweep workers shipping shards to the parent)
+    and by :meth:`MetricsRegistry.merge`. Holds the last value and the
+    integral as plain floats; :meth:`sample_lines` is byte-identical to
+    the live metric's, so a merged shard dumps exactly what the worker
+    would have dumped.
+    """
+
+    __slots__ = ("key", "value", "integral")
+    kind = "timeweighted"
+
+    def __init__(self, key: MetricKey, value: float, integral: float):
+        self.key = key
+        self.value = value
+        self.integral = integral
+
+    def copy(self) -> "_FrozenTimeWeighted":
+        return _FrozenTimeWeighted(self.key, self.value, self.integral)
+
+    def merge(self, other) -> "_FrozenTimeWeighted":
+        # Integrals accumulate; the last value is the merged-in side's
+        # (last-write-wins, matching GaugeMetric.merge).
+        self.integral += other.integral
+        self.value = other.value
+        return self
+
+    def time_average(self, since: float = 0.0) -> float:
+        raise RuntimeError("frozen time-weighted metrics have no clock; "
+                           "compute time averages before sharding")
+
+    def sample_lines(self) -> List[Tuple[str, str]]:
+        base = render_key(self.key)
+        return [(f"{base}:last", _fmt(self.value)),
+                (f"{base}:integral", _fmt(self.integral))]
+
 
 class HistogramMetric:
     """Log-linear histogram (shared bucketing with
@@ -133,6 +210,7 @@ class HistogramMetric:
     """
 
     __slots__ = ("key", "buckets", "count", "total", "vmin", "vmax")
+    kind = "histogram"
 
     def __init__(self, key: MetricKey):
         self.key = key
@@ -170,9 +248,25 @@ class HistogramMetric:
                 return loglinear_lower_bound(idx)
         return loglinear_lower_bound(max(self.buckets))
 
+    def copy(self) -> "HistogramMetric":
+        out = HistogramMetric(self.key)
+        out.buckets = {idx: n for idx, n in self.buckets.items() if n}
+        out.count = self.count
+        out.total = self.total
+        out.vmin = self.vmin
+        out.vmax = self.vmax
+        return out
+
     def merge(self, other: "HistogramMetric") -> "HistogramMetric":
+        if not other.count:
+            # An empty histogram (or one holding only zero-count bucket
+            # entries, e.g. hand-built shard state) must not perturb the
+            # digest: percentile()'s max-bucket fallback and the sparse
+            # bucket set itself would otherwise change.
+            return self
         for idx, n in other.buckets.items():
-            self.buckets[idx] = self.buckets.get(idx, 0) + n
+            if n:
+                self.buckets[idx] = self.buckets.get(idx, 0) + n
         self.count += other.count
         self.total += other.total
         self.vmin = min(self.vmin, other.vmin)
@@ -238,6 +332,42 @@ class MetricsRegistry:
     def __contains__(self, name: str) -> bool:
         return any(key[0] == name for key in self._metrics)
 
+    # -- pickling / merging -------------------------------------------------
+
+    def __getstate__(self):
+        # The env only serves time-weighted lookups; it is unpicklable
+        # (generators) and meaningless in another process. Metrics
+        # freeze themselves (see TimeWeightedMetric.__reduce__).
+        return {"_metrics": self._metrics}
+
+    def __setstate__(self, state):
+        self.env = None
+        self._metrics = state["_metrics"]
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other``'s metrics into this registry, key by key.
+
+        Counters and histograms accumulate; gauges and time-weighted
+        values are last-write-wins on the value (integrals accumulate),
+        so merging those is deliberately not commutative. Merging an
+        empty registry is a no-op: the digest is unchanged.
+        """
+        for key, theirs in other._metrics.items():
+            mine = self._metrics.get(key)
+            if mine is None:
+                self._metrics[key] = theirs.copy()
+                continue
+            if mine.kind != theirs.kind:
+                raise TypeError(
+                    f"metric {render_key(key)} is a {mine.kind} here but "
+                    f"a {theirs.kind} in the merged-in registry")
+            if isinstance(mine, TimeWeightedMetric):
+                # A live time-weighted metric cannot absorb foreign
+                # samples; freeze it in place first.
+                mine = self._metrics[key] = mine.copy()
+            mine.merge(theirs)
+        return self
+
     # -- export ------------------------------------------------------------
 
     def sample_lines(self) -> List[Tuple[str, str]]:
@@ -273,6 +403,7 @@ class _NullMetric:
     """Accepts every operation, records nothing."""
 
     __slots__ = ()
+    kind = "null"
     value = 0
     count = 0
     total = 0.0
@@ -280,6 +411,12 @@ class _NullMetric:
 
     def incr(self, by: int = 1) -> None:
         pass
+
+    def copy(self) -> "_NullMetric":
+        return self
+
+    def merge(self, other) -> "_NullMetric":
+        return self
 
     def set(self, value: float) -> None:
         pass

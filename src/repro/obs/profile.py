@@ -71,6 +71,37 @@ class LoopProfiler:
             self.steps += 1
             self.wall_s += wall
 
+    # -- sharding -----------------------------------------------------------
+
+    def state(self) -> dict:
+        """Picklable snapshot (a sweep worker ships this in its
+        :class:`~repro.obs.shard.TelemetryShard`)."""
+        return {
+            "by_kind": {kind: list(entry)
+                        for kind, entry in self.by_kind.items()},
+            "steps": self.steps,
+            "wall_s": self.wall_s,
+        }
+
+    def merge_state(self, state: dict) -> "LoopProfiler":
+        """Fold a worker profiler's :meth:`state` into this one.
+
+        Counts and simulated time merge deterministically; wall-clock
+        seconds are additive across processes (total CPU seconds, not
+        elapsed), which is what the hot-spot table wants. Wall clocks
+        never feed the metrics digest, so merging cannot perturb it.
+        """
+        for kind, (count, wall, sim) in state["by_kind"].items():
+            entry = self.by_kind.get(kind)
+            if entry is None:
+                entry = self.by_kind[kind] = [0, 0.0, 0.0]
+            entry[0] += count
+            entry[1] += wall
+            entry[2] += sim
+        self.steps += state["steps"]
+        self.wall_s += state["wall_s"]
+        return self
+
     def rows(self) -> List[Tuple[str, int, float, float]]:
         """``(kind, count, wall_seconds, sim_ns)`` sorted by wall time."""
         out = [(kind, int(c), w, s)

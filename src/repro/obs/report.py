@@ -20,12 +20,17 @@ from repro.obs.spans import Telemetry
 from repro.sim.monitor import LatencyStats
 
 
-def _md_table(headers: List[str], rows: List[List[str]]) -> str:
+def md_table(headers: List[str], rows: List[List[str]]) -> str:
+    """Render a GitHub-flavoured Markdown table (shared with the perf
+    trajectory report in :mod:`repro.bench.trajectory`)."""
     lines = ["| " + " | ".join(headers) + " |",
              "|" + "|".join("---" for _ in headers) + "|"]
     for row in rows:
         lines.append("| " + " | ".join(row) + " |")
     return "\n".join(lines)
+
+
+_md_table = md_table
 
 
 def stage_breakdown(telemetry: Telemetry) -> List[tuple]:

@@ -108,10 +108,34 @@ class RunTelemetry:
         self.env = env
         self.hub = hub
         self.run_index = run_index
+        #: True when no explicit label was given; shard absorption
+        #: regenerates default labels from the merged run index.
+        self.default_label = not label
         self.label = label or f"run{run_index}"
         self.metrics = MetricsRegistry(env)
         self.spans = SpanLog(capacity=hub.span_capacity)
         self._stage_filter = hub.stage_filter
+        #: Worker index the run was absorbed from (None for runs
+        #: recorded in this process). Never exported: ``--jobs N`` must
+        #: not change any telemetry artifact.
+        self.worker = None
+
+    @classmethod
+    def restored(cls, hub: "Telemetry", run_index: int, label: str,
+                 default_label: bool, metrics: MetricsRegistry,
+                 spans: SpanLog, worker=None) -> "RunTelemetry":
+        """Rebuild a run from shard state (no environment: read-only)."""
+        run = cls.__new__(cls)
+        run.env = None
+        run.hub = hub
+        run.run_index = run_index
+        run.default_label = default_label
+        run.label = label
+        run.metrics = metrics
+        run.spans = spans
+        run._stage_filter = hub.stage_filter
+        run.worker = worker
+        return run
 
     def _wanted(self, stage: str) -> bool:
         return self._stage_filter is None or stage in self._stage_filter
@@ -204,6 +228,44 @@ class Telemetry:
 
     def __exit__(self, *exc) -> None:
         self.uninstall()
+
+    # -- sharding (process-pool sweeps) -------------------------------------
+
+    def shard_config(self) -> dict:
+        """Picklable constructor args for a worker's per-process hub.
+
+        The worker hub must filter and bound spans exactly like this
+        one, or the merged stream would differ from a serial sweep's.
+        """
+        return {
+            "span_capacity": self.span_capacity,
+            "stage_filter": sorted(self.stage_filter)
+            if self.stage_filter is not None else None,
+            "profile": self.profiler is not None,
+        }
+
+    @classmethod
+    def from_shard_config(cls, config: dict) -> "Telemetry":
+        """Build a worker-side hub from :meth:`shard_config` output."""
+        profiler = None
+        if config.get("profile"):
+            from repro.obs.profile import LoopProfiler
+            profiler = LoopProfiler()
+        return cls(span_capacity=config["span_capacity"],
+                   stage_filter=config["stage_filter"],
+                   profiler=profiler)
+
+    def shard(self):
+        """Detach everything collected so far into a picklable
+        :class:`~repro.obs.shard.TelemetryShard`."""
+        from repro.obs.shard import shard_from
+        return shard_from(self)
+
+    def absorb(self, shard, worker=None):
+        """Append a worker shard's runs (in order) to this hub; see
+        :func:`repro.obs.shard.absorb_into`."""
+        from repro.obs.shard import absorb_into
+        return absorb_into(self, shard, worker=worker)
 
     # -- aggregate views ----------------------------------------------------
 

@@ -248,7 +248,8 @@ def sweep_rpc_load(scenario: RpcScenario, multiqueue: bool,
     from repro.bench.parallel import PointSpec, run_points
     return run_points(
         [PointSpec(run_rpc_point, (scenario, multiqueue, rate),
-                   dict(kwargs))
+                   dict(kwargs),
+                   label=f"{scenario.value} rate={rate:g}")
          for rate in rates],
         jobs=jobs)
 

@@ -147,7 +147,8 @@ def sweep_load(placement: Placement,
         [PointSpec(run_sched_point,
                    (placement, opts, n_worker_cores, policy_factory,
                     model_factory, rate),
-                   dict(kwargs))
+                   dict(kwargs),
+                   label=f"rate={rate:g}")
          for rate in rates],
         jobs=jobs)
 

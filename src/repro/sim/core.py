@@ -37,6 +37,27 @@ def default_telemetry():
     return _default_telemetry
 
 
+#: Callbacks that rewind a module's per-run id counter (task ids,
+#: request ids, queue ids, message sequence numbers, ...), invoked at
+#: every :class:`Environment` construction. Makes ids a pure function
+#: of the run rather than of process history, which is what lets a
+#: sweep's telemetry (span args carry task/request ids) stay
+#: byte-identical whether a point runs serially in the parent or inside
+#: a forked pool worker.
+_run_id_resets: List[Any] = []
+
+
+def register_run_id_reset(reset_fn) -> None:
+    """Register a zero-arg callback that rewinds a per-run id counter.
+
+    Modules owning a process-global ``itertools.count`` register at
+    import time; :class:`Environment` calls every callback before the
+    run starts. Ids must never influence simulated behaviour -- only
+    labelling -- which the cross-``--jobs`` byte-identity tests enforce.
+    """
+    _run_id_resets.append(reset_fn)
+
+
 class StopSimulation(Exception):
     """Raised internally to end :meth:`Environment.run` at an event."""
 
@@ -84,6 +105,8 @@ class Environment:
         #: edges; ``None`` (the default) disables telemetry at the cost
         #: of a single attribute load per edge.
         self.telemetry = None
+        for reset in _run_id_resets:
+            reset()
         if _default_telemetry is not None:
             _default_telemetry.attach(self)
 

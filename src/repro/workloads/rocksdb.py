@@ -26,6 +26,18 @@ DISPATCH_NS = 4_100.0
 _req_ids = itertools.count(1)
 
 
+def _reset_req_ids():
+    global _req_ids
+    _req_ids = itertools.count(1)
+
+
+# Per-run request ids (see repro.sim.core.register_run_id_reset):
+# labelling only, reset at every Environment construction.
+from repro.sim.core import register_run_id_reset  # noqa: E402
+
+register_run_id_reset(_reset_req_ids)
+
+
 class RequestKind(enum.Enum):
     GET = "get"
     RANGE = "range"

@@ -13,8 +13,12 @@ deployment (reduced scale so they stay test-fast):
    timing model fails loudly instead of silently shifting every number.
 
 The event hash covers each request's kind, arrival, and completion time
-in arrival order -- deliberately *not* task ids, which come from a
-process-global counter and depend on what ran earlier in the process.
+in arrival order -- not task ids, which are labelling only. (Ids once
+depended on what ran earlier in the process; they now reset at every
+``Environment`` construction -- see
+``repro.sim.core.register_run_id_reset`` -- so pooled sweep workers
+emit the same span args as a serial run. The hash predates that and
+keeps its narrower footing.)
 """
 
 import hashlib

@@ -405,3 +405,85 @@ def test_profiler_wall_clock_never_reaches_digest():
             _run_sched_deployment()
         digests.append(metrics_digest(hub))
     assert digests[0] == digests[1]
+
+
+# -- registry merging (process-pool shards) ----------------------------------
+
+def test_registry_merge_accumulates_counters_and_histograms():
+    a = MetricsRegistry()
+    a.counter("ops", op="push").incr(3)
+    a.histogram("lat").record(10.0)
+    b = MetricsRegistry()
+    b.counter("ops", op="push").incr(2)
+    b.counter("ops", op="pop").incr()
+    b.histogram("lat").record(1000.0)
+    a.merge(b)
+    assert a.counter("ops", op="push").value == 5
+    assert a.counter("ops", op="pop").value == 1
+    h = a.histogram("lat")
+    assert h.count == 2
+    assert h.total == 1010.0
+    assert h.vmin == 10.0 and h.vmax == 1000.0
+
+
+def test_registry_merge_empty_is_digest_noop():
+    reg = MetricsRegistry()
+    reg.counter("ops").incr(7)
+    reg.histogram("lat").record(5.0)
+    before = reg.digest()
+    reg.merge(MetricsRegistry())
+    assert reg.digest() == before
+
+
+def test_merge_empty_histogram_does_not_perturb_digest():
+    """The satellite-b edge case: a histogram key that exists in the
+    merged-in registry but holds no samples (or only zero-count bucket
+    entries) must leave the digest untouched."""
+    reg = MetricsRegistry()
+    reg.histogram("lat").record(5.0)
+    before = reg.digest()
+
+    other = MetricsRegistry()
+    other.histogram("lat")  # registered, never recorded
+    reg.merge(other)
+    assert reg.digest() == before
+
+    zeroed = MetricsRegistry()
+    z = zeroed.histogram("lat")
+    z.buckets[40] = 0  # hand-built shard state: a dead bucket entry
+    reg.merge(zeroed)
+    assert reg.digest() == before
+    assert 40 not in reg.histogram("lat").buckets
+
+
+def test_merge_zero_count_buckets_dropped_even_with_samples():
+    reg = MetricsRegistry()
+    reg.histogram("lat").record(5.0)
+    other = MetricsRegistry()
+    o = other.histogram("lat")
+    o.record(7.0)
+    o.buckets[99] = 0  # must not travel across the merge
+    reg.merge(other)
+    assert reg.histogram("lat").count == 2
+    assert 99 not in reg.histogram("lat").buckets
+    assert all(reg.histogram("lat").buckets.values())
+
+
+def test_registry_merge_kind_mismatch_raises():
+    a = MetricsRegistry()
+    a.counter("x").incr()
+    b = MetricsRegistry()
+    b.gauge("x").set(1.0)
+    with pytest.raises(TypeError):
+        a.merge(b)
+
+
+def test_registry_merge_into_empty_copies():
+    src = MetricsRegistry()
+    src.counter("ops").incr(4)
+    dst = MetricsRegistry()
+    dst.merge(src)
+    assert dst.dump() == src.dump()
+    # A copy, not an alias: mutating the source leaves dst alone.
+    src.counter("ops").incr()
+    assert dst.counter("ops").value == 4

@@ -65,12 +65,71 @@ def test_unpicklable_specs_fall_back_to_serial():
     assert sink == [0, 1, 2]  # ran in this process
 
 
-def test_installed_telemetry_forces_serial():
+def _instrumented_point(i):
+    """A tiny simulation that records telemetry when a hub is attached."""
+    from repro.sim import Environment
+    env = Environment()
+    tel = env.telemetry
+
+    def proc():
+        if tel is not None:
+            tel.count("tiny.points")
+            tel.observe("tiny.value", 10.0 * (i + 1))
+            tel.span("tiny.stage", "trk", dur_ns=5.0, i=i)
+        yield env.timeout(10)
+
+    env.process(proc())
+    env.run(until=20)
+    return os.getpid()
+
+
+def test_installed_telemetry_no_longer_forces_serial():
+    """PR 4 contract: an instrumented sweep runs in the pool, and the
+    workers' telemetry shards are merged back into the parent hub."""
     from repro.obs import Telemetry
-    with Telemetry():
+    hub = Telemetry()
+    with hub:
         pids = run_points(
-            [PointSpec(_worker_pid, (i,)) for i in range(3)], jobs=2)
-    assert pids == [os.getpid()] * 3
+            [PointSpec(_instrumented_point, (i,)) for i in range(3)],
+            jobs=2)
+    assert all(pid != os.getpid() for pid in pids)
+    assert len(hub.runs) == 3
+    assert [run.label for run in hub.runs] == ["run0", "run1", "run2"]
+    assert all(run.worker is not None for run in hub.runs)
+    for run in hub.runs:
+        assert run.metrics.counter("tiny.points").value == 1
+        assert run.spans.spans("tiny.stage")
+    # Nothing leaks into later environments: the parent hub stays the
+    # installed one inside the block, none outside.
+    from repro.sim import Environment
+    assert Environment().telemetry is None
+
+
+def test_unpicklable_fallback_warns_and_counts(capsys):
+    from repro.bench import parallel as par
+    health = par.reset_sweep_health()
+    par._warned_unpicklable = False
+    sink = []
+    specs = [PointSpec(lambda i=i: sink.append(i) or i, ())
+             for i in range(3)]
+    assert run_points(specs, jobs=2) == [0, 1, 2]
+    assert run_points(specs, jobs=2) == [0, 1, 2]
+    err = capsys.readouterr().err
+    assert err.count("not picklable") == 1  # warned once, counted twice
+    counter = health.counter("sweep.fallback", reason="unpicklable")
+    assert counter.value == 2
+
+
+def test_sweep_health_worker_family():
+    from repro.bench import parallel as par
+    health = par.reset_sweep_health()
+    run_points([PointSpec(_ident, (i,)) for i in range(4)], jobs=2)
+    dump = health.dump()
+    assert "sweep.pool.runs 1" in dump
+    assert 'sweep.worker.points{worker="0"}' in dump
+    total = sum(m.value for key, m in health._metrics.items()
+                if key[0] == "sweep.worker.points")
+    assert total == 4
 
 
 def test_parallel_map_sugar():

@@ -211,3 +211,59 @@ def test_counter():
     c.incr(4)
     assert int(c) == 5
     assert "events" in repr(c)
+
+
+def test_latency_merge_disjoint_bucket_ranges():
+    """Merging recorders whose samples occupy disjoint log-linear bucket
+    ranges: the merged histogram is the union of both bucket sets."""
+    lo = LatencyStats("lo")
+    hi = LatencyStats("hi")
+    for v in (1.0, 2.0, 4.0):
+        lo.record(v)
+    for v in (1e6, 2e6, 4e6):
+        hi.record(v)
+    lo_hist = dict(lo.histogram())
+    hi_hist = dict(hi.histogram())
+    assert not set(lo_hist) & set(hi_hist)  # genuinely disjoint
+    lo.merge(hi)
+    merged = dict(lo.histogram())
+    assert merged == {**lo_hist, **hi_hist}
+    assert lo.count == 6
+    assert lo.percentile(100) == 4e6
+    assert lo.percentile(1) == 1.0
+
+
+def test_latency_merge_overlapping_bucket_ranges():
+    """Overlapping ranges: shared buckets sum, and merged percentiles
+    equal the union's percentiles exactly (same samples, one list)."""
+    a = LatencyStats("a")
+    b = LatencyStats("b")
+    union = LatencyStats("union")
+    for v in (10.0, 20.0, 40.0, 80.0):
+        a.record(v)
+        union.record(v)
+    for v in (40.0, 80.0, 160.0):
+        b.record(v)
+        union.record(v)
+    a_hist = dict(a.histogram())
+    b_hist = dict(b.histogram())
+    shared = set(a_hist) & set(b_hist)
+    assert shared  # the ranges really overlap
+    a.merge(b)
+    merged = dict(a.histogram())
+    assert merged == dict(union.histogram())
+    for bound in shared:
+        assert merged[bound] == a_hist[bound] + b_hist[bound]
+    for p in (10, 50, 90, 99, 100):
+        assert a.percentile(p) == union.percentile(p)
+
+
+def test_latency_merge_empty_sides():
+    stats = LatencyStats()
+    stats.record(5.0)
+    stats.merge(LatencyStats())  # empty right side: no-op
+    assert stats.count == 1
+    empty = LatencyStats()
+    empty.merge(stats)  # empty left side: adopts the samples
+    assert empty.count == 1
+    assert empty.p50 == 5.0
