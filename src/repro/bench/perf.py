@@ -10,13 +10,19 @@ Two measurements, written to ``BENCH_perf.json``:
 - **fig4a fast wall-clock**: the end-to-end Fig 4a sweep in ``--fast``
   mode, serially and (on multicore hosts) through the ``--jobs``
   process pool.
+- **model benches**: named fixed-scale end-to-end points (a Fig 5
+  ticks-on VM point, the reduced Fig 4a FIFO point) with their
+  deterministic ``events_scheduled`` counts, tracked per benchmark in
+  the history.
 
 ``PRE_PR_BASELINE`` pins the numbers measured on the pre-optimization
 kernel (same workload, same host) so the speedup is auditable.
-``--check`` gates on the *committed* ``BENCH_perf.json``: it fails
-only when the fresh kernel events/sec falls more than 30% below the
-committed figure, so CI catches real kernel regressions without
-flaking on runner-speed noise.
+``--check`` gates on the *committed* ``BENCH_perf.json`` two ways: it
+fails when the fresh kernel events/sec falls more than 30% below the
+committed figure (wide, because runner speed is noisy), and when the
+fresh kernel ``events_scheduled`` -- a deterministic count -- creeps
+more than 10% above the committed value (an event-reduction mechanism
+stopped engaging).
 
 Every run also appends a timestamped entry to the artifact's
 ``history`` array (schema ``wave-repro-perf/2``), giving a cross-run
@@ -39,18 +45,28 @@ from typing import Optional
 from repro.sim import Environment, Interrupt
 
 # Measured on the pre-PR kernel (commit 271e81d), same workload and
-# host (1 CPU) as measure_kernel() below. The scheduled-event count is
-# workload-determined and must not drift: the optimized kernel must
-# schedule exactly as many events as the one it replaced.
+# host (1 CPU) as measure_kernel() below. ``kernel_events_logical`` is
+# the workload-determined schedule count (env._seq) and must not drift:
+# the optimized kernel performs exactly as many *logical* schedules as
+# the one it replaced. ``kernel_events_scheduled`` -- heap admissions --
+# is what the timer wheel and poll coalescing reduce; the pre-PR kernel
+# admitted every logical schedule to the heap, so the two started
+# equal. The events-reduction acceptance is measured against this pin.
 PRE_PR_BASELINE = {
     "kernel_events_per_sec": 256_234,
     "kernel_events_scheduled": 3_676_318,
+    "kernel_events_logical": 3_676_318,
     "fig4a_fast_wall_s": 48.67,
     "host_cpu_count": 1,
 }
 
 # --check fails when fresh events/sec < floor * committed events/sec.
 REGRESSION_FLOOR = 0.70
+# --check also fails when fresh heap admissions creep more than 10%
+# above the committed count: the event-reduction machinery (timer
+# wheel, poll coalescing, virtual ticks) silently falling out of use
+# would show up here long before wall-clock noise could prove it.
+EVENTS_CEILING = 1.10
 
 
 def _build_workload(env, chains, racers, preempts):
@@ -101,29 +117,83 @@ def _build_workload(env, chains, racers, preempts):
 
 
 def kernel_events_point(horizon_ns: int = 2_000_000, chains: int = 40,
-                        racers: int = 40, preempts: int = 10):
-    """One kernel microbench run: (events scheduled, wall seconds)."""
+                        racers: int = 40, preempts: int = 10) -> dict:
+    """One kernel microbench run: event counters plus wall seconds.
+
+    - ``events_logical``: schedule requests (``env._seq``) -- workload-
+      determined, identical whatever the queue implementation;
+    - ``events_scheduled``: heap admissions -- what the timer wheel and
+      poll coalescing actually cut;
+    - ``events_dispatched``: callbacks run.
+    """
     env = Environment()
     _build_workload(env, chains, racers, preempts)
     t0 = time.perf_counter()
     env.run(until=horizon_ns)
     wall = time.perf_counter() - t0
-    return env._seq, wall
+    return {
+        "events_logical": env._seq,
+        "events_scheduled": env.events_scheduled,
+        "events_dispatched": env.events_dispatched,
+        "timers_coalesced": env.timers_coalesced,
+        "wall_s": round(wall, 4),
+    }
 
 
 def measure_kernel(repeats: int = 3) -> dict:
-    """Best-of-N kernel events/sec (best = least scheduler noise)."""
+    """Best-of-N kernel events/sec (best = least scheduler noise).
+
+    events/sec keeps its original definition -- logical schedules per
+    wall second -- so the figure stays comparable across the whole
+    history even as heap admissions shrink.
+    """
     kernel_events_point(horizon_ns=200_000)  # warmup
-    runs = []
-    for _ in range(repeats):
-        scheduled, wall = kernel_events_point()
-        runs.append({"events_scheduled": scheduled, "wall_s": round(wall, 4)})
-    best = max(r["events_scheduled"] / r["wall_s"] for r in runs)
+    runs = [kernel_events_point() for _ in range(repeats)]
+    best = max(r["events_logical"] / r["wall_s"] for r in runs)
+    first = runs[0]
     return {
-        "events_scheduled": runs[0]["events_scheduled"],
+        "events_scheduled": first["events_scheduled"],
+        "events_dispatched": first["events_dispatched"],
+        "events_logical": first["events_logical"],
+        "timers_coalesced": first["timers_coalesced"],
         "events_per_sec": round(best),
         "runs": runs,
     }
+
+
+def measure_model_benches() -> dict:
+    """Named end-to-end model benches with per-benchmark event counts.
+
+    Small fixed-scale points (one Fig 5 ticks-on VM point, the
+    reduced-scale Fig 4a FIFO point the golden digest pins) whose
+    ``events_scheduled`` is deterministic -- the history shows exactly
+    where event-reduction wins land or regress, per benchmark.
+    """
+    import random
+
+    from repro.core import Placement, WaveOpts
+    from repro.sched import FifoPolicy
+    from repro.sched.experiment import run_sched_point
+    from repro.sched.vm_experiment import run_vm_point
+    from repro.workloads import RocksDbModel
+
+    benches = {}
+
+    counters: dict = {}
+    t0 = time.perf_counter()
+    run_vm_point(31, ticks=True, counters=counters)
+    counters["wall_s"] = round(time.perf_counter() - t0, 4)
+    benches["fig5_vm_ticks"] = counters
+
+    counters = {}
+    t0 = time.perf_counter()
+    run_sched_point(Placement.NIC, WaveOpts.full(), 2, FifoPolicy,
+                    lambda rng: RocksDbModel.fifo_mix(rng),
+                    rate_per_sec=120_000.0, duration_ns=8_000_000.0,
+                    warmup_ns=1_000_000.0, seed=1, counters=counters)
+    counters["wall_s"] = round(time.perf_counter() - t0, 4)
+    benches["fig4a_fifo_reduced"] = counters
+    return benches
 
 
 def measure_fig4a(jobs: Optional[int] = None) -> float:
@@ -172,8 +242,24 @@ def main(fast: bool = False, check: bool = False,
             kernel["events_per_sec"]
             / PRE_PR_BASELINE["kernel_events_per_sec"], 3),
     }
+    scheduled = kernel.get("events_scheduled")
+    pre_scheduled = PRE_PR_BASELINE["kernel_events_scheduled"]
+    if scheduled:
+        reduction = 1.0 - scheduled / pre_scheduled
+        result["kernel_events_reduction_vs_pre_pr"] = round(reduction, 3)
+        print(f"  heap admissions {scheduled:,} vs pre-PR "
+              f"{pre_scheduled:,} ({100 * reduction:+.1f}% reduction)",
+              flush=True)
 
     if not fast:
+        print("model benches (fig5 vm ticks, fig4a reduced) ...",
+              flush=True)
+        benches = measure_model_benches()
+        for name, stats in sorted(benches.items()):
+            print(f"  {name}: events_scheduled="
+                  f"{stats.get('events_scheduled', 0):,} "
+                  f"wall={stats.get('wall_s', 0):.2f}s", flush=True)
+        result["benches"] = benches
         print("fig4a fast sweep, serial ...", flush=True)
         serial_wall = measure_fig4a(jobs=None)
         fig4a = {"serial_wall_s": round(serial_wall, 2)}
@@ -205,7 +291,8 @@ def main(fast: bool = False, check: bool = False,
           f"{'entry' if len(result['history']) == 1 else 'entries'})")
 
     if check:
-        base = (committed or {}).get("kernel", {}).get("events_per_sec") \
+        committed_kernel = (committed or {}).get("kernel", {})
+        base = committed_kernel.get("events_per_sec") \
             or PRE_PR_BASELINE["kernel_events_per_sec"]
         floor = REGRESSION_FLOOR * base
         got = kernel["events_per_sec"]
@@ -213,8 +300,23 @@ def main(fast: bool = False, check: bool = False,
             print(f"PERF REGRESSION: kernel {got:,} ev/s < "
                   f"{floor:,.0f} (70% of committed {base:,})")
             return 1
+        # Event-count gate: deterministic (no runner-speed noise), so
+        # the tolerance is tight. A >10% creep in heap admissions means
+        # an event-reduction mechanism stopped engaging.
+        events_base = committed_kernel.get("events_scheduled")
+        events_got = kernel.get("events_scheduled")
+        if events_base and events_got:
+            ceiling = EVENTS_CEILING * events_base
+            if events_got > ceiling:
+                print(f"PERF REGRESSION: kernel events_scheduled "
+                      f"{events_got:,} > {ceiling:,.0f} (110% of "
+                      f"committed {events_base:,})")
+                return 1
         print(f"perf check OK: kernel {got:,} ev/s >= "
-              f"{floor:,.0f} (70% of committed {base:,})")
+              f"{floor:,.0f} (70% of committed {base:,})"
+              + (f", events_scheduled {events_got:,} <= "
+                 f"{EVENTS_CEILING * events_base:,.0f}"
+                 if events_base and events_got else ""))
     return 0
 
 

@@ -30,21 +30,39 @@ from repro.obs.report import md_table
 HISTORY_LIMIT = 200
 
 
+def normalize_entry(entry: dict) -> dict:
+    """History hygiene applied on every write: drop null-valued keys
+    (older writers emitted ``"jobs": null`` and null wall times on fast
+    runs) and guarantee a ``ts`` key. Readers still tolerate
+    unnormalized entries -- every consumer uses ``.get()``."""
+    out = {key: value for key, value in entry.items() if value is not None}
+    out.setdefault("ts", "")
+    return out
+
+
 def history_entry(result: dict, timestamp: str) -> dict:
-    """Flatten one perf ``result`` dict into a history entry."""
+    """Flatten one perf ``result`` dict into a (normalized) history
+    entry. Named model benches contribute one
+    ``bench_<name>_events_scheduled`` scalar each, so the trajectory
+    shows where event-count wins land or regress per benchmark."""
     kernel = result.get("kernel") or {}
     fig4a = result.get("fig4a_fast") or {}
     host = result.get("host") or {}
-    return {
+    entry = {
         "ts": timestamp,
         "kernel_events_per_sec": kernel.get("events_per_sec"),
         "kernel_events_scheduled": kernel.get("events_scheduled"),
+        "kernel_events_dispatched": kernel.get("events_dispatched"),
         "fig4a_serial_wall_s": fig4a.get("serial_wall_s"),
         "fig4a_parallel_wall_s": fig4a.get("parallel_wall_s"),
         "jobs": fig4a.get("jobs"),
         "host_cpu_count": host.get("cpu_count"),
         "python": host.get("python"),
     }
+    for name, stats in sorted((result.get("benches") or {}).items()):
+        entry[f"bench_{name}_events_scheduled"] = \
+            (stats or {}).get("events_scheduled")
+    return normalize_entry(entry)
 
 
 def load_perf(path: str) -> Optional[dict]:
@@ -66,12 +84,16 @@ def carry_history(out_path: str,
     for path in (out_path, fallback_path):
         prior = load_perf(path)
         if prior and isinstance(prior.get("history"), list):
-            return list(prior["history"])
+            # Normalize on the way through: entries written before the
+            # hygiene rules (null-valued keys, missing ts) come out
+            # clean on the next write.
+            return [normalize_entry(dict(e)) for e in prior["history"]
+                    if isinstance(e, dict)]
         if prior is not None:
             # A pre-trajectory (schema 1) artifact: seed the history
             # with its snapshot so the first trend has two points.
             entry = history_entry(prior, timestamp="(pre-history)")
-            if entry["kernel_events_per_sec"]:
+            if entry.get("kernel_events_per_sec"):
                 return [entry]
             return []
     return []
@@ -130,8 +152,9 @@ def render_trend(history: List[dict], baseline: Optional[dict] = None,
         ev = entry.get("kernel_events_per_sec")
         rows.append([
             str(index),
-            str(entry.get("ts", "-")),
+            str(entry.get("ts") or "-"),
             _fmt_num(ev),
+            _fmt_num(entry.get("kernel_events_scheduled")),
             _fmt_delta(ev, prev_ev),
             _fmt_delta(ev, first_ev) if index else "-",
             _fmt_num(entry.get("fig4a_serial_wall_s"), "s"),
@@ -140,10 +163,23 @@ def render_trend(history: List[dict], baseline: Optional[dict] = None,
         if ev:
             prev_ev = ev
     out.append(md_table(
-        ["run", "timestamp", "kernel ev/s", "vs prev", "vs first",
-         "fig4a serial", "fig4a --jobs"],
+        ["run", "timestamp", "kernel ev/s", "events sched", "vs prev",
+         "vs first", "fig4a serial", "fig4a --jobs"],
         rows))
     out.append("")
+    bench_keys = sorted({key for e in entries for key in e
+                         if key.startswith("bench_")
+                         and key.endswith("_events_scheduled")})
+    if bench_keys:
+        out.append("## Model-bench events_scheduled by run")
+        out.append("")
+        names = [k[len("bench_"):-len("_events_scheduled")]
+                 for k in bench_keys]
+        bench_rows = [[str(i), str(e.get("ts") or "-")]
+                      + [_fmt_num(e.get(k)) for k in bench_keys]
+                      for i, e in enumerate(entries)]
+        out.append(md_table(["run", "timestamp"] + names, bench_rows))
+        out.append("")
 
     ev_points = [(float(i), float(e["kernel_events_per_sec"]))
                  for i, e in enumerate(entries)

@@ -27,7 +27,7 @@ from repro.core.messages import Message
 from repro.core.txn import TxnOutcome
 from repro.ghost.messages import TASK_DEAD, TASK_NEW, TASK_PREEMPT, SchedDecision
 from repro.ghost.task import GhostTask
-from repro.sim import Interrupt
+from repro.sim import Interrupt, PollTimer
 
 #: Minimum re-check delay when a preemption deadline is already due,
 #: guaranteeing forward progress of simulated time.
@@ -77,6 +77,11 @@ class GhostAgent(WaveAgent):
     def _run(self):
         env = self.env
         ring = self.channel.msg_ring
+        # The preemption-deadline poll almost always loses the race to a
+        # message arrival; a PollTimer re-arms the loser in place
+        # instead of cancelling and scheduling a fresh timeout each
+        # iteration (poll coalescing). Timing is identical.
+        poll = PollTimer(env)
         try:
             # Serve anything already runnable (a restarted agent begins
             # with a recovered run queue, section 6).
@@ -88,7 +93,7 @@ class GhostAgent(WaveAgent):
                 wait_event = ring.wait_nonempty()
                 if deadline is not None:
                     delay = max(_MIN_TIMER_NS, deadline - env.now)
-                    yield env.any_of([wait_event, env.timeout(delay)])
+                    yield env.any_of([wait_event, poll.arm(delay)])
                 else:
                     yield wait_event
                 messages, cost = ring.consume(max_batch=64)

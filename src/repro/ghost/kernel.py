@@ -28,7 +28,7 @@ from repro.core.txn import TxnOutcome
 from repro.ghost.costs import SchedCosts
 from repro.ghost.messages import TASK_DEAD, TASK_NEW, TASK_PREEMPT
 from repro.ghost.task import GhostTask, TaskState
-from repro.sim import Event, Interrupt, LatencyStats
+from repro.sim import Event, Interrupt, LatencyStats, PollTimer
 
 #: Core loop phases (for interrupt routing decisions).
 _ACQUIRE, _WAITING, _RUNNING = "acquire", "waiting", "running"
@@ -134,6 +134,9 @@ class GhostKernel:
         opts = channel.opts
         offloaded = channel.placement is Placement.NIC
         track = f"core{core}"
+        # Idle-recheck polls almost always lose to the agent's kick;
+        # coalesce them onto one re-armable timer per core.
+        poll = PollTimer(env)
 
         just_preempted = False
         while True:
@@ -173,7 +176,7 @@ class GhostKernel:
                 self._phase[core] = _WAITING
                 event = env.event()
                 self._wait_events[core] = event
-                yield env.any_of([event, env.timeout(recheck)])
+                yield env.any_of([event, poll.arm(recheck)])
                 recheck = min(recheck * 2, 1_000_000.0)
                 self._wait_events.pop(core, None)
                 self._phase[core] = _ACQUIRE

@@ -9,11 +9,16 @@ C-state and stops counting against the socket's turbo budget.
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional
 
 from repro.hw.params import HwParams
 from repro.hw.turbo import TurboGovernor
 from repro.sim import Environment, TimeWeightedValue
+
+#: Set to force the event-per-tick legacy loop instead of the analytic
+#: virtual-tick accounting (debugging / the equivalence tests).
+LEGACY_TICKS_ENV = "REPRO_LEGACY_TICKS"
 
 
 class Core:
@@ -30,9 +35,44 @@ class Core:
         self.deep_sleep = False
         self._idle_since: Optional[float] = 0.0
         self._wake_epoch = 0  # invalidates stale deep-sleep checks
-        #: CPU time consumed by timer ticks on this core (both threads).
-        self.tick_time = 0.0
+        #: Reified tick time (legacy loop increments; virtual-tick
+        #: accounting adds the analytic part on top, see ``tick_time``).
+        self._tick_base = 0.0
+        self._tick_anchor: Optional[float] = None
+        self._tick_period = 0.0
+        self._tick_cost = 0.0
+        self._ticks_hold_awake = False
         self._arm_deep_sleep_check()  # cores start idle
+
+    @property
+    def tick_time(self) -> float:
+        """CPU time consumed by timer ticks on this core (both threads).
+
+        With virtual ticks enabled this is computed analytically --
+        ``floor(elapsed / period) * cost`` ticks have been delivered
+        since the anchor -- so no per-tick event ever enters the
+        scheduler queue. The floor boundary matches the legacy loop:
+        ``env.run(until=t)`` dispatches events *at* ``t``, so a read
+        after a run ending exactly on a tick boundary includes that
+        tick in both modes.
+        """
+        anchor = self._tick_anchor
+        if anchor is None:
+            return self._tick_base
+        # The +1e-9 nudge forgives float noise ~1e6x smaller than any
+        # representable sub-period offset; without it an exact-boundary
+        # quotient that rounded a hair low would drop a whole tick.
+        ticks = int((self.env.now - anchor) / self._tick_period + 1e-9)
+        return self._tick_base + ticks * self._tick_cost
+
+    @tick_time.setter
+    def tick_time(self, value: float) -> None:
+        anchor = self._tick_anchor
+        if anchor is None:
+            self._tick_base = value
+        else:
+            ticks = int((self.env.now - anchor) / self._tick_period + 1e-9)
+            self._tick_base = value - ticks * self._tick_cost
 
     @property
     def awake(self) -> bool:
@@ -71,7 +111,43 @@ class Core:
             self._idle_since = self.env.now
             self._arm_deep_sleep_check()
 
+    def enable_virtual_ticks(self, period: float, cost: float) -> None:
+        """Deliver timer ticks analytically instead of one event each.
+
+        Requires ``period < deep_sleep_entry`` (the caller checks): every
+        tick then pokes the core before the idle residency elapses, so
+        an awake core provably never sleeps -- that edge is modelled by
+        the ``_ticks_hold_awake`` flag and needs no events at all. The
+        only observable tick *edge* left is a core that is already in
+        deep sleep when ticks start: its wake-up at the next tick
+        boundary is reified as a single real event.
+
+        ``tick_time`` reads return the analytic value from here on.
+        """
+        if period <= 0:
+            raise ValueError(f"tick period must be positive, got {period}")
+        if self._tick_anchor is not None:
+            raise RuntimeError(f"core {self.id}: virtual ticks already on")
+        self._tick_base = self.tick_time
+        self._tick_anchor = self.env.now
+        self._tick_period = period
+        self._tick_cost = cost
+        self._ticks_hold_awake = True
+        # Pending deep-sleep checks would now race a tick they cannot
+        # see; invalidate them (a tick always lands first).
+        self._wake_epoch += 1
+        if self.deep_sleep:
+            def wake():
+                yield self.env.timeout(period)
+                self.poke()
+
+            self.env.process(wake(), name=f"c{self.id}-tickwake")
+
     def _arm_deep_sleep_check(self) -> None:
+        if self._ticks_hold_awake:
+            # Virtual ticks land inside the residency window: the idle
+            # check can never pass, so don't even schedule it.
+            return
         epoch = self._wake_epoch
 
         def check():
@@ -147,9 +223,25 @@ class HostCpu:
         Each tick consumes ``tick_cost`` CPU time on the core and, on an
         idle core, keeps it out of deep sleep -- the interference the
         Wave VM policy eliminates (section 7.2.4).
+
+        By default ticks are accounted analytically (see
+        :meth:`Core.enable_virtual_ticks`): zero scheduler events per
+        tick, identical observable behaviour. The event-per-tick loop is
+        kept for two cases: ``REPRO_LEGACY_TICKS`` in the environment
+        (debugging, equivalence tests), and ``tick_period >=
+        deep_sleep_entry`` -- slow ticks have real sleep/wake edges
+        between ticks, so the analytic model would diverge.
         """
+        params = self.params
+        legacy = (bool(os.environ.get(LEGACY_TICKS_ENV))
+                  or params.tick_period >= params.deep_sleep_entry)
         for core in socket.cores:
-            self.env.process(self._tick_loop(core), name=f"tick-c{core.id}")
+            if legacy:
+                self.env.process(self._tick_loop(core),
+                                 name=f"tick-c{core.id}")
+            else:
+                core.enable_virtual_ticks(params.tick_period,
+                                          params.tick_cost)
 
     def _tick_loop(self, core: Core):
         period = self.params.tick_period

@@ -13,7 +13,7 @@ tick-overhead savings), given the 1.7% tick overhead in HwParams.
 from __future__ import annotations
 
 import bisect
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.hw.params import HwParams
 
@@ -48,9 +48,22 @@ class TurboGovernor:
             raise ValueError("curve anchors must be sorted by core count")
         #: Optional cap emulating the HSMP frequency limit (section 7.3.3).
         self.max_ghz = max_ghz
+        # frequency() runs on every core sleep/wake transition; the
+        # domain is tiny (64 core counts x the occasional cap change),
+        # so memoise. Keyed on the cap because it is mutable.
+        self._memo: Dict[Tuple[int, Optional[float]], float] = {}
 
     def frequency(self, awake_physical_cores: int) -> float:
         """Boosted GHz when ``awake_physical_cores`` are out of deep sleep."""
+        key = (awake_physical_cores, self.max_ghz)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        ghz = self._interpolate(awake_physical_cores)
+        self._memo[key] = ghz
+        return ghz
+
+    def _interpolate(self, awake_physical_cores: int) -> float:
         n = max(self._xs[0], min(awake_physical_cores, self._xs[-1]))
         i = bisect.bisect_left(self._xs, n)
         if self._xs[i] == n:

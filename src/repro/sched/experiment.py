@@ -65,14 +65,17 @@ def run_sched_point(placement: Placement,
                     params: Optional[HwParams] = None,
                     costs: Optional[SchedCosts] = None,
                     completion_cost_ns: float = 0.0,
-                    request_sink: Optional[List[Request]] = None
+                    request_sink: Optional[List[Request]] = None,
+                    counters: Optional[dict] = None
                     ) -> SchedPointResult:
     """Run one load point and return its observations.
 
     ``request_sink``, when given, receives every generated
     :class:`Request` (in arrival order) after the run -- the raw event
     sequence behind the aggregates, used by the golden-trace
-    determinism tests.
+    determinism tests. ``counters``, when given, is filled with the
+    kernel's event counters after the run (the perf bench's
+    per-benchmark ``events_scheduled`` accounting).
     """
     env = Environment()
     machine = Machine(env, params or HwParams.pcie())
@@ -98,6 +101,11 @@ def run_sched_point(placement: Placement,
     env.run(until=duration_ns)
     if request_sink is not None:
         request_sink.extend(loadgen.requests)
+    if counters is not None:
+        counters.update(events_scheduled=env.events_scheduled,
+                        events_dispatched=env.events_dispatched,
+                        events_logical=env._seq,
+                        timers_coalesced=env.timers_coalesced)
 
     window_s = (duration_ns - warmup_ns) / 1e9
     gets = LatencyStats("get")

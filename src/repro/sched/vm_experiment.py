@@ -36,8 +36,12 @@ class VmPointResult:
 
 def run_vm_point(active_vcpus: int, ticks: bool,
                  measure_ns: float = MEASURE_NS,
-                 params: HwParams = None) -> VmPointResult:
-    """Run one Fig 5 data point."""
+                 params: HwParams = None,
+                 counters: dict = None) -> VmPointResult:
+    """Run one Fig 5 data point.
+
+    ``counters``, when given, is filled with the simulation kernel's
+    event counters after the run (perf-bench accounting)."""
     env = Environment()
     machine = Machine(env, params or HwParams.pcie())
     socket = machine.host.sockets[0]
@@ -61,6 +65,11 @@ def run_vm_point(active_vcpus: int, ticks: bool,
         loop.start()
     env.run(until=env.now + measure_ns)
     total = sum(loop.finish() for loop in loops)
+    if counters is not None:
+        counters.update(events_scheduled=env.events_scheduled,
+                        events_dispatched=env.events_dispatched,
+                        events_logical=env._seq,
+                        timers_coalesced=env.timers_coalesced)
     return VmPointResult(
         active_vcpus=active_vcpus,
         ticks=ticks,

@@ -18,6 +18,8 @@ Determinism: events scheduled for the same timestamp are processed in
 from repro.sim.events import (
     Event,
     Timeout,
+    RearmableTimer,
+    PollTimer,
     Condition,
     AnyOf,
     AllOf,
@@ -34,6 +36,8 @@ __all__ = [
     "Environment",
     "Event",
     "Timeout",
+    "RearmableTimer",
+    "PollTimer",
     "Condition",
     "AnyOf",
     "AllOf",

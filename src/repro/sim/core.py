@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 import heapq
+import os
 from typing import Any, Generator, Iterable, List, Optional, Tuple
 
-from repro.sim.events import AllOf, AnyOf, Event, NORMAL, PENDING, Timeout
+from repro.sim.events import (AllOf, AnyOf, Event, NORMAL, PENDING,
+                              RearmableTimer, Timeout)
 from repro.sim.process import Process
+from repro.sim.wheel import MIN_COARSE_DELAY, MIN_WHEEL_DELAY, TimerWheel
 
 
 #: Globally installed :class:`repro.obs.spans.Telemetry`, or None. When
@@ -19,6 +22,13 @@ _default_telemetry = None
 #: (one sleep per core/agent/loadgen process), so a small cap captures
 #: nearly all reuse while bounding worst-case retention.
 _POOL_MAX = 256
+
+#: Environment variable disabling the timer wheel (all timers go to the
+#: heap, as before this optimization). Debug/differential-testing knob;
+#: the wheel-vs-heap property tests drive it per-instance instead.
+_NO_WHEEL_ENV = "REPRO_NO_TIMER_WHEEL"
+
+_INF = float("inf")
 
 
 def set_default_telemetry(telemetry):
@@ -76,22 +86,52 @@ class Environment:
 
     - :meth:`run` inlines the dispatch loop; :meth:`step` exists for
       single-stepping and for the profiled path (``_profile_hook``).
-    - Cancelled events (:meth:`Event.cancel`) stay in the heap and are
-      discarded lazily at pop time, without advancing the clock.
+    - Cancelled events (:meth:`Event.cancel`) stay in their queue and
+      are discarded lazily, without advancing the clock.
     - Processed :class:`Timeout` objects are recycled through a
       freelist: :meth:`timeout` may return a reused instance, so a
       Timeout must not be retained (or re-waited) after it has fired.
+    - Far-future timers (delay >= ``MIN_WHEEL_DELAY``) are filed in a
+      hierarchical :class:`~repro.sim.wheel.TimerWheel` instead of the
+      heap; buckets are promoted into the heap strictly before any of
+      their entries could be due, preserving exact
+      ``(time, priority, seq)`` dispatch order. ``use_wheel=False`` (or
+      ``REPRO_NO_TIMER_WHEEL=1``) restores the pure-heap kernel.
+    - Events scheduled *during* dispatch are staged; when the earliest
+      staged entry provably precedes everything in the heap and wheel,
+      it is dispatched inline without a heap round trip (same-timestamp
+      cascades: ``succeed`` -> condition -> process resume).
+
+    Counters: :attr:`events_scheduled` counts heap admissions (the
+    costly queue operations), :attr:`events_dispatched` counts callback
+    dispatches (workload-determined -- identical for the same model code
+    whatever the queueing strategy), :attr:`timers_coalesced` counts
+    :class:`~repro.sim.events.PollTimer` in-place re-arms.
     """
 
     __slots__ = ("_now", "_queue", "_seq", "_active_process", "faults",
-                 "telemetry", "_timeout_pool", "_profile_hook")
+                 "telemetry", "_timeout_pool", "_profile_hook", "_wheel",
+                 "_staged", "events_scheduled", "events_dispatched",
+                 "timers_coalesced")
 
-    def __init__(self, initial_time: float = 0):
+    def __init__(self, initial_time: float = 0,
+                 use_wheel: Optional[bool] = None):
         self._now = initial_time
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
         self._timeout_pool: List[Timeout] = []
+        if use_wheel is None:
+            use_wheel = not os.environ.get(_NO_WHEEL_ENV)
+        self._wheel: Optional[TimerWheel] = TimerWheel() if use_wheel \
+            else None
+        #: Events scheduled while a dispatch is in flight; flushed to the
+        #: heap (or dispatched inline) between callbacks. None outside
+        #: the dispatch loop.
+        self._staged: Optional[List[Tuple[float, int, int, Event]]] = None
+        self.events_scheduled = 0
+        self.events_dispatched = 0
+        self.timers_coalesced = 0
         #: Optional per-step observer installed by
         #: :class:`repro.obs.profile.LoopProfiler`; when set, :meth:`run`
         #: takes the stepped (profiled) path instead of the inline loop.
@@ -147,8 +187,18 @@ class Environment:
             timer._defused = False
             timer._cancelled = False
             self._seq += 1
-            heapq.heappush(
-                self._queue, (self._now + delay, NORMAL, self._seq, timer))
+            wheel = self._wheel
+            if wheel is not None and delay >= MIN_WHEEL_DELAY:
+                wheel.insert(self._now + delay, NORMAL, self._seq, timer,
+                             delay >= MIN_COARSE_DELAY)
+            else:
+                entry = (self._now + delay, NORMAL, self._seq, timer)
+                staged = self._staged
+                if staged is not None:
+                    staged.append(entry)
+                else:
+                    self.events_scheduled += 1
+                    heapq.heappush(self._queue, entry)
             return timer
         return Timeout(self, delay, value)
 
@@ -168,32 +218,112 @@ class Environment:
 
     def _schedule(self, event: Event, priority: int, delay: float = 0) -> None:
         self._seq += 1
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, self._seq, event))
+        wheel = self._wheel
+        if wheel is not None and delay >= MIN_WHEEL_DELAY:
+            wheel.insert(self._now + delay, priority, self._seq, event,
+                         delay >= MIN_COARSE_DELAY)
+            return
+        entry = (self._now + delay, priority, self._seq, event)
+        staged = self._staged
+        if staged is not None:
+            staged.append(entry)
+        else:
+            self.events_scheduled += 1
+            heapq.heappush(self._queue, entry)
 
     def _recycle(self, event: Event) -> None:
         """Return a finished Timeout to the freelist (bounded)."""
         if type(event) is Timeout and len(self._timeout_pool) < _POOL_MAX:
             self._timeout_pool.append(event)
+        elif type(event) is RearmableTimer:
+            event._has_entry = False
+
+    def _flush_staged(self) -> None:
+        """Push every staged entry into the heap (counted admissions)."""
+        staged = self._staged
+        if staged:
+            queue = self._queue
+            push = heapq.heappush
+            for entry in staged:
+                push(queue, entry)
+            self.events_scheduled += len(staged)
+            del staged[:]
+
+    def _push_rearmed(self, event: RearmableTimer, surfaced_at: float,
+                      priority: int) -> None:
+        """Re-key a re-armed poll timer whose stale entry just surfaced.
+
+        The entry takes the sequence number allocated when the timer was
+        re-armed (``_rearm_seq``), not a fresh one: a timer re-armed at
+        time t must tie-break against other same-deadline events exactly
+        like a timeout *created* at t, or re-arming could flip
+        same-timestamp dispatch order relative to the plain-heap kernel.
+        """
+        fire_at = event._fire_at
+        wheel = self._wheel
+        if wheel is not None and fire_at - surfaced_at >= MIN_WHEEL_DELAY:
+            wheel.insert(fire_at, priority, event._rearm_seq, event,
+                         fire_at - surfaced_at >= MIN_COARSE_DELAY)
+        else:
+            self.events_scheduled += 1
+            heapq.heappush(self._queue,
+                           (fire_at, priority, event._rearm_seq, event))
+        event._entry_at = fire_at
+
+    def _promote_due(self, stop_at: float) -> None:
+        """Promote wheel buckets due before the next heap entry.
+
+        A bucket is *due* once its start time is at or before the
+        earliest heap entry (raw head: a cancelled head is a safe lower
+        bound) and at or before ``stop_at``. Promoting whole buckets at
+        that point guarantees no wheel entry can be dispatched late.
+        """
+        wheel = self._wheel
+        queue = self._queue
+        while wheel._count:
+            start = wheel.next_start()
+            if start > stop_at:
+                break
+            if queue and queue[0][0] < start:
+                break
+            wheel.promote_next(self)
+        else:
+            wheel._next_start = _INF
 
     def peek(self) -> float:
         """Time of the next *live* scheduled event, or +inf if none.
 
         Cancelled entries at the head are discarded on the way, so an
         idle queue of dead timers can never make the horizon look busy.
+        Considers the timer wheel too (without promoting anything).
         """
+        if self._staged:
+            self._flush_staged()
         queue = self._queue
+        best = _INF
         while queue:
-            event = queue[0][3]
-            if not event._cancelled:
-                return queue[0][0]
-            heapq.heappop(queue)
-            self._recycle(event)
-        return float("inf")
+            when, priority, _, event = queue[0]
+            if event._cancelled:
+                heapq.heappop(queue)
+                self._recycle(event)
+                continue
+            if type(event) is RearmableTimer and event._fire_at > when:
+                heapq.heappop(queue)
+                self._push_rearmed(event, when, priority)
+                continue
+            best = when
+            break
+        wheel = self._wheel
+        if wheel is not None and wheel._count:
+            earliest = wheel.earliest_deadline()
+            if earliest < best:
+                best = earliest
+        return best
 
     def _process_event(self, now: float, event: Event) -> None:
         """Advance the clock to ``now`` and run one event's callbacks."""
         self._now = now
+        self.events_dispatched += 1
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -206,14 +336,21 @@ class Environment:
     def step(self) -> None:
         """Process exactly one live event (skipping cancelled entries)."""
         queue = self._queue
+        wheel = self._wheel
         while True:
+            if wheel is not None and wheel._count:
+                self._promote_due(_INF)
             try:
-                now, _, _, event = heapq.heappop(queue)
+                now, priority, _, event = heapq.heappop(queue)
             except IndexError:
                 raise EmptySchedule() from None
-            if not event._cancelled:
-                break
-            self._recycle(event)
+            if event._cancelled:
+                self._recycle(event)
+                continue
+            if type(event) is RearmableTimer and event._fire_at > now:
+                self._push_rearmed(event, now, priority)
+                continue
+            break
         hook = self._profile_hook
         if hook is None:
             self._process_event(now, event)
@@ -229,7 +366,7 @@ class Environment:
         already failed).
         """
         if until is None:
-            stop_at = float("inf")
+            stop_at = _INF
         elif isinstance(until, Event):
             if until.callbacks is None:
                 if until._cancelled or until._value is PENDING:
@@ -243,7 +380,7 @@ class Environment:
                 exc = until._value
                 raise type(exc)(*exc.args) from exc
             until.callbacks.append(self._stop_callback)
-            stop_at = float("inf")
+            stop_at = _INF
         else:
             stop_at = float(until)
             if stop_at < self._now:
@@ -253,7 +390,11 @@ class Environment:
         if self._profile_hook is not None:
             # Profiled path: per-event bookkeeping lives in step().
             try:
-                while self._queue and self._queue[0][0] <= stop_at:
+                while True:
+                    if self._wheel is not None and self._wheel._count:
+                        self._promote_due(stop_at)
+                    if not self._queue or self._queue[0][0] > stop_at:
+                        break
                     self.step()
             except StopSimulation as stop:
                 return stop.args[0]
@@ -262,19 +403,81 @@ class Environment:
         # Inline dispatch loop: the whole-program hot path. Everything
         # touched per event is a local; cancelled entries are discarded
         # without advancing the clock; fired Timeouts go back to the
-        # freelist. Semantically identical to `while ...: self.step()`.
+        # freelist; due wheel buckets are promoted before any heap pop
+        # they could affect; the earliest staged entry is dispatched
+        # inline when it provably precedes both queues. Semantically
+        # identical to `while ...: self.step()`.
         queue = self._queue
         pool = self._timeout_pool
         pop = heapq.heappop
         timeout_type = Timeout
+        rearm_type = RearmableTimer
+        wheel = self._wheel
+        # wheel._next_start is a cache of the earliest wheel bucket's
+        # start (+inf when empty), maintained by insert/promote: the
+        # per-event wheel check must be one attribute load, not a call.
+        staged = self._staged
+        own_staged = staged is None
+        if own_staged:
+            staged = self._staged = []
+        dispatched = 0
         try:
-            while queue and queue[0][0] <= stop_at:
-                now, _, _, event = pop(queue)
-                if event._cancelled:
-                    if type(event) is timeout_type and len(pool) < _POOL_MAX:
-                        pool.append(event)
-                    continue
-                self._now = now
+            while True:
+                entry = None
+                if staged:
+                    cand = staged[0] if len(staged) == 1 else min(staged)
+                    if wheel is not None and wheel._next_start <= cand[0]:
+                        self._flush_staged()   # a wheel bucket is due first
+                    elif queue and queue[0] < cand:
+                        self._flush_staged()   # the heap head wins the tie
+                    elif cand[0] > stop_at:
+                        self._flush_staged()
+                        break
+                    else:
+                        if len(staged) == 1:
+                            del staged[:]
+                        else:
+                            staged.remove(cand)
+                        event = cand[3]
+                        if event._cancelled:
+                            if type(event) is timeout_type \
+                                    and len(pool) < _POOL_MAX:
+                                pool.append(event)
+                            elif type(event) is rearm_type:
+                                event._has_entry = False
+                            continue
+                        entry = cand
+                if entry is None:
+                    if queue:
+                        head_time = queue[0][0]
+                        if (wheel is not None
+                                and wheel._next_start <= head_time):
+                            self._promote_due(stop_at)
+                            head_time = queue[0][0] if queue else _INF
+                        if head_time > stop_at:
+                            break
+                    else:
+                        if wheel is not None and wheel._next_start <= stop_at:
+                            self._promote_due(stop_at)
+                        if not queue or queue[0][0] > stop_at:
+                            break
+                    cand = pop(queue)
+                    event = cand[3]
+                    if event._cancelled:
+                        if type(event) is timeout_type \
+                                and len(pool) < _POOL_MAX:
+                            pool.append(event)
+                        elif type(event) is rearm_type:
+                            event._has_entry = False
+                        continue
+                    if type(event) is rearm_type and event._fire_at > cand[0]:
+                        # Stale entry of a re-armed poll timer: re-key it
+                        # at the real deadline without advancing the clock.
+                        self._push_rearmed(event, cand[0], cand[1])
+                        continue
+                    entry = cand
+                self._now = entry[0]
+                dispatched += 1
                 callbacks, event.callbacks = event.callbacks, None
                 for callback in callbacks:
                     callback(event)
@@ -284,15 +487,26 @@ class Environment:
                     raise type(exc)(*exc.args) from exc
                 if type(event) is timeout_type and len(pool) < _POOL_MAX:
                     pool.append(event)
+                elif type(event) is rearm_type:
+                    event._has_entry = False
         except StopSimulation as stop:
             return stop.args[0]
+        finally:
+            self.events_dispatched += dispatched
+            # Exception paths (StopSimulation, model errors) may leave
+            # staged entries behind; they must land in the heap so a
+            # resumed run dispatches them.
+            if staged:
+                self._flush_staged()
+            if own_staged:
+                self._staged = None
         return self._finish_run(until, stop_at)
 
     def _finish_run(self, until: Any, stop_at: float) -> Any:
         if not isinstance(until, Event):
             # Advance the clock to the requested stop time even if the
             # queue drained early, so repeated run(until=...) is monotonic.
-            if stop_at != float("inf"):
+            if stop_at != _INF:
                 self._now = max(self._now, stop_at)
             return None
         if until.triggered:

@@ -161,6 +161,124 @@ class Timeout(Event):
         return f"<Timeout delay={self.delay}>"
 
 
+class RearmableTimer(Timeout):
+    """A poll timeout that can be re-armed in place after it is cancelled.
+
+    The scheduler keys its queue entry lazily: ``_entry_at`` is where the
+    entry currently sits (heap or timer wheel), ``_fire_at`` is where the
+    timer should actually fire. A re-arm that only *extends* the deadline
+    touches neither queue -- the stale entry surfaces at ``_entry_at``
+    and is re-keyed to ``_fire_at`` then (see
+    ``Environment._push_rearmed``). Deliberately excluded from the
+    ``Timeout`` freelist (the pool check is an exact type check): a
+    pooled instance could be re-armed by a stale :class:`PollTimer`
+    after the kernel handed it to unrelated code.
+    """
+
+    __slots__ = ("_fire_at", "_entry_at", "_has_entry", "_rearm_seq")
+
+    def __init__(self, env: "Environment", delay: float,  # noqa: F821
+                 value: Any = None):
+        super().__init__(env, delay, value)
+        self._fire_at = env.now + delay
+        self._entry_at = self._fire_at
+        #: True while a queue entry (possibly stale) references this
+        #: timer; reuse without a queue operation is only legal then.
+        self._has_entry = True
+        #: Sequence number allocated by the last in-place re-arm; the
+        #: stale entry is re-keyed under it so the timer tie-breaks
+        #: exactly like a timeout created at re-arm time. Only read
+        #: when ``_fire_at > _entry_at``, which implies a re-arm set it.
+        self._rearm_seq = 0
+
+    def __repr__(self) -> str:
+        return (f"<RearmableTimer delay={self.delay} "
+                f"fire_at={self._fire_at}>")
+
+
+class PollTimer:
+    """Poll-coalescing manager for ``any_of([wakeup, timeout])`` races.
+
+    Agent-style loops race a poll timeout against a wakeup event; when
+    the wakeup wins, the loser timer is cancelled and the next iteration
+    allocates and schedules a fresh one. Under load that is one
+    allocation plus two queue operations per message batch for a timer
+    that almost never fires. :meth:`arm` instead reuses one
+    :class:`RearmableTimer`:
+
+    - if the previous timer was cancelled and its (stale) queue entry
+      sits at or before the new deadline, the object is re-armed in
+      place with **zero queue operations** -- the stale entry surfaces
+      at its old key and is lazily re-keyed to the new deadline;
+    - if the previous timer already fired (or its entry was consumed),
+      the object is re-scheduled, skipping only the allocation;
+    - if the new deadline is *earlier* than the stale entry, the old
+      timer is abandoned (its entry dies lazily, exactly like any
+      cancelled timer) and a fresh one is created.
+
+    Timing is identical to ``env.timeout(delay)`` in every case; only
+    the queue mechanics differ.
+    """
+
+    __slots__ = ("env", "_timer", "armed", "coalesced")
+
+    def __init__(self, env: "Environment"):  # noqa: F821
+        self.env = env
+        self._timer: Optional[RearmableTimer] = None
+        self.armed = 0
+        self.coalesced = 0
+
+    def arm(self, delay: float, value: Any = None) -> RearmableTimer:
+        """A timer event firing ``delay`` ns from now (maybe reused)."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        env = self.env
+        timer = self._timer
+        self.armed += 1
+        if timer is not None:
+            if timer.callbacks is not None and not timer._cancelled:
+                raise RuntimeError(
+                    f"PollTimer re-armed while {timer!r} is still pending")
+            target = env.now + delay
+            if (timer._cancelled and timer._has_entry
+                    and timer._entry_at <= target):
+                # Reuse in place: no queue operation at all. A seq is
+                # still allocated *now* -- the stale entry is re-keyed
+                # under it when it surfaces, preserving the exact
+                # tie-break order of a freshly created timeout.
+                env._seq += 1
+                timer._rearm_seq = env._seq
+                timer.delay = delay
+                timer.callbacks = []
+                timer._value = value
+                timer._ok = True
+                timer._defused = False
+                timer._cancelled = False
+                timer._fire_at = target
+                self.coalesced += 1
+                env.timers_coalesced += 1
+                return timer
+            if not timer._has_entry:
+                # Fired (or entry already consumed): fresh schedule,
+                # reused object.
+                timer.delay = delay
+                timer.callbacks = []
+                timer._value = value
+                timer._ok = True
+                timer._defused = False
+                timer._cancelled = False
+                env._schedule(timer, NORMAL, delay)
+                timer._fire_at = target
+                timer._entry_at = target
+                timer._has_entry = True
+                return timer
+            # The stale entry lies beyond the new target; fall through
+            # and abandon it (lazy deletion reaps the entry).
+        timer = RearmableTimer(env, delay, value)
+        self._timer = timer
+        return timer
+
+
 class Condition(Event):
     """Waits for a combination of events, judged by ``evaluate``.
 
@@ -212,7 +330,9 @@ class Condition(Event):
                 callbacks.remove(check)
             except ValueError:
                 pass
-            if not callbacks and type(child) is Timeout:
+            # isinstance, not an exact type check: RearmableTimer losers
+            # must be cancelled too, or PollTimer could never reuse them.
+            if not callbacks and isinstance(child, Timeout):
                 child.cancel()
 
     def _check(self, event: Event) -> None:

@@ -50,27 +50,85 @@ class LatencyStats:
 
     Percentiles use the nearest-rank method, matching how the paper's
     tail-latency figures are conventionally computed.
+
+    By default every sample is kept, so percentiles are exact but memory
+    grows with the run (a problem for long-duration experiments).
+    ``bounded=True`` instead folds samples into the shared log-linear
+    buckets as they arrive: O(buckets) memory regardless of duration,
+    count/mean/min/max stay exact, and percentiles degrade to bucket
+    lower bounds (<= 12.5% relative error -- the same resolution
+    :meth:`histogram` already exports). Merging a bounded instance into
+    an exact one demotes the target to bounded, since the exact union
+    can no longer be reconstructed.
     """
 
-    def __init__(self, name: str = ""):
+    def __init__(self, name: str = "", bounded: bool = False):
         self.name = name
         self._samples: List[float] = []
         self._sorted: Optional[List[float]] = None
+        self.bounded = bounded
+        self._counts: Dict[int, int] = {}
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
 
     def record(self, value: float) -> None:
         """Add one sample."""
-        self._samples.append(value)
+        if self.bounded:
+            idx = loglinear_bucket(value)
+            self._counts[idx] = self._counts.get(idx, 0) + 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+        else:
+            self._samples.append(value)
+            self._sorted = None
+
+    def _demote(self) -> None:
+        """Fold the exact sample list into buckets (exact -> bounded)."""
+        for value in self._samples:
+            idx = loglinear_bucket(value)
+            self._counts[idx] = self._counts.get(idx, 0) + 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+        self._count += len(self._samples)
+        self._samples = []
         self._sorted = None
+        self.bounded = True
 
     def merge(self, other: "LatencyStats") -> "LatencyStats":
         """Fold another instance's samples into this one (in place).
 
         Lets per-core recorders be aggregated into a machine-wide view
-        without re-recording samples; percentiles of the merged stats
-        are exactly the percentiles of the union.
-        """
-        self._samples.extend(other._samples)
-        self._sorted = None
+        without re-recording samples. When both sides are exact, the
+        percentiles of the merged stats are exactly the percentiles of
+        the union; if either side is bounded the result is bounded
+        (bucket counts add exactly)."""
+        if other.bounded and not self.bounded:
+            self._demote()
+        if self.bounded:
+            counts = self._counts
+            for idx, n in other._counts.items():
+                counts[idx] = counts.get(idx, 0) + n
+            for value in other._samples:
+                idx = loglinear_bucket(value)
+                counts[idx] = counts.get(idx, 0) + 1
+            self._count += other.count
+            self._sum += other._sum + math.fsum(other._samples)
+            self._min = min(self._min, other.min) \
+                if other.count else self._min
+            self._max = max(self._max, other.max) \
+                if other.count else self._max
+        else:
+            self._samples.extend(other._samples)
+            self._sorted = None
         return self
 
     def histogram(self) -> List[Tuple[float, int]]:
@@ -80,7 +138,7 @@ class LatencyStats:
         Interpolation-free export: the buckets can be merged across
         recorders and nearest-rank percentiles recomputed from counts
         alone, to bucket resolution (<= 12.5% relative error)."""
-        counts: Dict[int, int] = {}
+        counts: Dict[int, int] = dict(self._counts)
         for value in self._samples:
             idx = loglinear_bucket(value)
             counts[idx] = counts.get(idx, 0) + 1
@@ -89,28 +147,52 @@ class LatencyStats:
 
     @property
     def count(self) -> int:
-        return len(self._samples)
+        return self._count + len(self._samples)
 
     @property
     def mean(self) -> float:
-        if not self._samples:
+        total = self.count
+        if not total:
             return float("nan")
-        return sum(self._samples) / len(self._samples)
+        return (self._sum + sum(self._samples)) / total
 
     @property
     def max(self) -> float:
-        return max(self._samples) if self._samples else float("nan")
+        if not self.count:
+            return float("nan")
+        if self._samples:
+            high = max(self._samples)
+            return max(high, self._max) if self._count else high
+        return self._max
 
     @property
     def min(self) -> float:
-        return min(self._samples) if self._samples else float("nan")
+        if not self.count:
+            return float("nan")
+        if self._samples:
+            low = min(self._samples)
+            return min(low, self._min) if self._count else low
+        return self._min
 
     def percentile(self, p: float) -> float:
-        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        """Nearest-rank percentile, ``p`` in [0, 100].
+
+        Exact over the stored samples; on a bounded instance the result
+        is the lower bound of the bucket holding the nearest-rank
+        sample."""
         if not 0 <= p <= 100:
             raise ValueError(f"percentile {p} out of range")
-        if not self._samples:
+        total = self.count
+        if not total:
             return float("nan")
+        if self.bounded:
+            rank = max(1, math.ceil(p / 100.0 * total))
+            seen = 0
+            for idx in sorted(self._counts):
+                seen += self._counts[idx]
+                if seen >= rank:
+                    return loglinear_lower_bound(idx)
+            return self._max
         if self._sorted is None:
             self._sorted = sorted(self._samples)
         rank = max(1, math.ceil(p / 100.0 * len(self._sorted)))

@@ -65,7 +65,8 @@ class _Interruption(Event):
             # A preempted sleep (e.g. the Shinjuku slice cutting a
             # service timeout short) leaves a dead timer behind; cancel
             # it so the scheduler skips its queue entry at pop time.
-            if not target.callbacks and type(target) is Timeout:
+            # isinstance so RearmableTimer sleeps are reaped too.
+            if not target.callbacks and isinstance(target, Timeout):
                 target.cancel()
         process._resume(self)
 

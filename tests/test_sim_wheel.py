@@ -1,0 +1,326 @@
+"""Timer wheel, poll coalescing, and virtual-tick equivalence tests.
+
+The event-count optimizations are pure *mechanism* changes: the timer
+wheel re-homes far timers, PollTimer reuses cancelled poll timeouts,
+virtual ticks account for tick time analytically. None of them may
+change observable behaviour -- dispatch order, timestamps, values, or
+model outputs. These tests pin that substitution validity:
+
+1. property test: random schedule/cancel/run interleavings dispatch in
+   the identical order with the wheel on and off;
+2. PollTimer: every arm path (reuse, reschedule, abandon) fires at the
+   exact time a fresh ``env.timeout`` would;
+3. virtual ticks reproduce the legacy tick loop's observable effects
+   (tick_time, deep-sleep edges, turbo frequency) with zero events.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw import HwParams
+from repro.hw.cpu import HostCpu
+from repro.sim import Environment, PollTimer
+from repro.sim.wheel import (
+    COARSE_GRAIN,
+    FINE_GRAIN,
+    MIN_COARSE_DELAY,
+    MIN_WHEEL_DELAY,
+    TimerWheel,
+)
+
+
+# -- wheel vs heap equivalence ---------------------------------------------
+
+#: Delays straddling every routing class: inline/staged (< 4096),
+#: fine wheel, coarse wheel, and exact threshold values.
+_DELAYS = [0.0, 1.0, 200.0, MIN_WHEEL_DELAY - 1, MIN_WHEEL_DELAY,
+           FINE_GRAIN * 3, 10_000.0, MIN_COARSE_DELAY - 1,
+           MIN_COARSE_DELAY, COARSE_GRAIN * 2.5, 500_000.0]
+
+_ops = st.lists(
+    st.tuples(st.sampled_from(["schedule", "cancel", "run"]),
+              st.sampled_from(_DELAYS),
+              st.integers(min_value=0, max_value=30)),
+    min_size=1, max_size=60)
+
+
+def _drive(use_wheel, ops):
+    """Replay one op sequence; return the dispatch log."""
+    env = Environment(use_wheel=use_wheel)
+    log = []
+    live = []
+
+    def driver():
+        for op, delay, pick in ops:
+            if op == "schedule":
+                timer = env.timeout(delay, value=len(log))
+                timer.callbacks.append(
+                    lambda ev, d=delay: log.append(("fire", env.now, d)))
+                live.append(timer)
+            elif op == "cancel" and live:
+                timer = live.pop(pick % len(live))
+                if timer.callbacks is not None:
+                    del timer.callbacks[:]
+                    timer.cancel()
+                    log.append(("cancel", env.now))
+            else:
+                yield env.timeout(float(pick) * 977.0)
+                log.append(("ran", env.now))
+        # Drain everything still pending.
+        yield env.timeout(2_000_000.0)
+
+    env.process(driver())
+    env.run(until=3_000_000.0)
+    return log
+
+
+@settings(deadline=None, max_examples=60)
+@given(_ops)
+def test_wheel_and_heap_dispatch_identically(ops):
+    """Random schedule/cancel/run interleavings: the timer wheel must
+    produce the exact dispatch log of the plain-heap kernel."""
+    assert _drive(True, ops) == _drive(False, ops)
+
+
+@settings(deadline=None, max_examples=30)
+@given(_ops)
+def test_wheel_event_counters_conserved(ops):
+    """_seq (logical schedules) is queue-implementation invariant, and
+    dispatched callbacks match exactly."""
+    heap_env = Environment(use_wheel=False)
+    wheel_env = Environment(use_wheel=True)
+    for env in (heap_env, wheel_env):
+        def load(env=env):
+            for op, delay, pick in ops:
+                if op == "schedule":
+                    env.timeout(delay)
+                else:
+                    yield env.timeout(float(pick) * 977.0 + 1.0)
+        env.process(load())
+        env.run(until=3_000_000.0)
+    assert heap_env._seq == wheel_env._seq
+    assert heap_env.events_dispatched == wheel_env.events_dispatched
+    # (events_scheduled -- heap admissions -- legitimately differs: the
+    # wheel's promotions always push, while the heap-only kernel may
+    # inline-dispatch a staged entry without admitting it. At workload
+    # scale the wheel wins by a wide margin; see bench/perf.py.)
+
+
+def test_no_timer_wheel_env_var(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_TIMER_WHEEL", "1")
+    env = Environment()
+    assert env._wheel is None
+    monkeypatch.delenv("REPRO_NO_TIMER_WHEEL")
+    assert Environment()._wheel is not None
+
+
+def test_wheel_far_timer_cancelled_never_touches_heap():
+    env = Environment()
+    timer = env.timeout(400_000.0)  # coarse bucket
+    before = env.events_scheduled
+    del timer.callbacks[:]
+    timer.cancel()
+    env.run(until=1_000_000.0)
+    # The cancelled far timer was dropped at bucket rollover, not
+    # admitted to the heap.
+    assert env.events_scheduled == before
+    assert env._wheel.dropped_cancelled == 1
+
+
+def test_wheel_unit_ordering():
+    """Direct TimerWheel check: promotion preserves (time, prio, seq)."""
+    wheel = TimerWheel()
+
+    class _Ev:
+        _cancelled = False
+
+    entries = [(50_000.0, 1, 3, _Ev()), (5_000.0, 1, 1, _Ev()),
+               (200_000.0, 1, 2, _Ev())]
+    for when, prio, seq, ev in entries:
+        wheel.insert(when, prio, seq, ev, when >= MIN_COARSE_DELAY)
+    assert len(wheel) == 3
+    assert wheel.next_start() == int(5_000.0 // FINE_GRAIN) * FINE_GRAIN
+    env = Environment(use_wheel=False)
+    while len(wheel):
+        wheel.promote_next(env)
+    popped = sorted(env._queue)
+    assert [e[2] for e in popped] == [1, 3, 2]
+
+
+# -- PollTimer --------------------------------------------------------------
+
+def _race(env, poll, delay, kick_after):
+    """One any_of race: poll timer vs an event kicked at kick_after
+    (None = never). Returns the winner tag and the resume time."""
+    result = {}
+
+    def waiter():
+        ev = env.event()
+        timer = poll.arm(delay) if poll is not None else env.timeout(delay)
+        if kick_after is not None:
+            def kicker():
+                yield env.timeout(kick_after)
+                if not ev.triggered:
+                    ev.succeed()
+            env.process(kicker())
+        yield env.any_of([ev, timer])
+        result["at"] = env.now
+        result["timer_fired"] = timer.processed
+
+    proc = env.process(waiter())
+    env.run(proc)
+    return result
+
+
+@pytest.mark.parametrize("delay,kick_after", [
+    (500.0, 100.0),     # event wins, short timer
+    (500.0, None),      # timer fires
+    (9_000.0, 100.0),   # event wins, wheel-range timer
+    (9_000.0, None),
+])
+def test_polltimer_single_race_times_match(delay, kick_after):
+    plain = _race(Environment(), None, delay, kick_after)
+    pooled_env = Environment()
+    pooled = _race(pooled_env, PollTimer(pooled_env), delay, kick_after)
+    assert plain == pooled
+
+
+def test_polltimer_reuse_chain_matches_fresh_timeouts():
+    """A long lose/re-arm chain with growing, shrinking, and equal
+    delays resumes at exactly the times fresh timeouts would."""
+    delays = [300.0, 600.0, 600.0, 5_000.0, 200.0, 150_000.0, 100.0]
+
+    def run(use_poll):
+        env = Environment()
+        poll = PollTimer(env) if use_poll else None
+        times = []
+        for delay in delays:
+            # Kick always wins at delay/2: the timer is a serial loser.
+            r = _race(env, poll, delay, delay / 2.0)
+            times.append((r["at"], r["timer_fired"]))
+        return times
+
+    assert run(True) == run(False)
+
+
+def test_polltimer_counts_coalesced():
+    env = Environment()
+    poll = PollTimer(env)
+    for _ in range(5):
+        _race(env, poll, 400.0, 100.0)
+    assert poll.armed == 5
+    # First arm allocates; whether later arms reuse in place or
+    # re-schedule, at least some must coalesce away their queue ops.
+    assert poll.coalesced >= 1
+    assert env.timers_coalesced == poll.coalesced
+
+
+def test_polltimer_rejects_rearm_while_pending():
+    env = Environment()
+    poll = PollTimer(env)
+    poll.arm(100.0)
+    with pytest.raises(RuntimeError):
+        poll.arm(50.0)
+
+
+def test_polltimer_rejects_negative_delay():
+    env = Environment()
+    with pytest.raises(ValueError):
+        PollTimer(env).arm(-1.0)
+
+
+# -- virtual ticks ----------------------------------------------------------
+
+def _tick_machine(legacy, monkeypatch, params=None):
+    if legacy:
+        monkeypatch.setenv("REPRO_LEGACY_TICKS", "1")
+    else:
+        monkeypatch.delenv("REPRO_LEGACY_TICKS", raising=False)
+    env = Environment()
+    cpu = HostCpu(env, params or HwParams.pcie())
+    socket = cpu.sockets[0]
+    cpu.start_ticks(socket)
+    return env, socket
+
+
+@pytest.mark.parametrize("horizon_ticks", [1, 7, 10])
+def test_virtual_ticks_match_legacy_tick_time(monkeypatch, horizon_ticks):
+    observed = {}
+    for legacy in (True, False):
+        env, socket = _tick_machine(legacy, monkeypatch)
+        env.run(until=horizon_ticks * socket.params.tick_period)
+        observed[legacy] = [
+            (core.tick_time, core.deep_sleep) for core in socket.cores[:4]]
+        if not legacy:
+            # The whole point: no tick events were scheduled.
+            assert env._seq < 1_000
+    assert observed[True] == observed[False]
+
+
+def test_virtual_ticks_hold_cores_awake(monkeypatch):
+    env, socket = _tick_machine(False, monkeypatch)
+    env.run(until=socket.params.deep_sleep_entry * 5)
+    assert socket.awake_cores == len(socket.cores)
+    assert socket.current_ghz() == pytest.approx(3.2)
+
+
+def test_virtual_ticks_wake_sleeping_core_at_next_tick(monkeypatch):
+    monkeypatch.delenv("REPRO_LEGACY_TICKS", raising=False)
+    env = Environment()
+    cpu = HostCpu(env, HwParams.pcie())
+    socket = cpu.sockets[0]
+    # Let every core fall into deep sleep first...
+    env.run(until=socket.params.deep_sleep_entry * 3)
+    assert socket.awake_cores == 0
+    # ...then start ticks: the wake edge is reified one period later.
+    start = env.now
+    cpu.start_ticks(socket)
+    env.run(until=start + socket.params.tick_period - 1.0)
+    assert socket.awake_cores == 0
+    env.run(until=start + socket.params.tick_period)
+    assert socket.awake_cores == len(socket.cores)
+
+
+def test_slow_ticks_fall_back_to_legacy_loop(monkeypatch):
+    """tick_period >= deep_sleep_entry has observable sleep/wake edges
+    between ticks: start_ticks must keep the event-per-tick loop."""
+    monkeypatch.delenv("REPRO_LEGACY_TICKS", raising=False)
+    import dataclasses
+    params = HwParams.pcie()
+    slow = dataclasses.replace(
+        params, tick_period=2 * params.deep_sleep_entry)
+    env = Environment()
+    cpu = HostCpu(env, slow)
+    socket = cpu.sockets[0]
+    cpu.start_ticks(socket)
+    core = socket.cores[0]
+    assert core._tick_anchor is None  # virtual accounting NOT engaged
+    env.run(until=3 * slow.tick_period)
+    assert core.tick_time == pytest.approx(3 * slow.tick_cost)
+    # Between ticks the cores really do sleep (the edge the analytic
+    # model cannot represent, hence the fallback).
+    env.run(until=env.now + slow.deep_sleep_entry + 1.0)
+    assert core.deep_sleep
+
+
+def test_enable_virtual_ticks_twice_raises():
+    env = Environment()
+    cpu = HostCpu(env, HwParams.pcie())
+    core = cpu.cores[0]
+    core.enable_virtual_ticks(1_000.0, 10.0)
+    with pytest.raises(RuntimeError):
+        core.enable_virtual_ticks(1_000.0, 10.0)
+
+
+def test_tick_time_setter_composes_with_virtual(monkeypatch):
+    env, socket = _tick_machine(False, monkeypatch)
+    core = socket.cores[0]
+    env.run(until=3 * socket.params.tick_period)
+    analytic = core.tick_time
+    assert analytic == pytest.approx(3 * socket.params.tick_cost)
+    core.tick_time = 0.0
+    assert core.tick_time == 0.0
+    env.run(until=4 * socket.params.tick_period)
+    assert core.tick_time == pytest.approx(socket.params.tick_cost)
