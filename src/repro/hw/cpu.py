@@ -44,6 +44,28 @@ class Core:
         self._ticks_hold_awake = False
         self._arm_deep_sleep_check()  # cores start idle
 
+    def _ticks_elapsed(self) -> int:
+        """Ticks delivered since the anchor: ``max{k >= 0 : k*period <=
+        now - anchor}``, evaluated in the *time* domain.
+
+        Comparing ``k * period`` against the elapsed time directly (and
+        correcting the float-division guess against that criterion)
+        keeps the boundary test exact at any magnitude: a fixed quotient
+        nudge either under-forgives (relative error in a large quotient
+        exceeds it, dropping a delivered tick) or over-forgives (a read
+        genuinely just below a boundary gains an undelivered tick).
+        Each correction loop runs at most once or twice -- the division
+        guess is within a couple of ulps of the true index.
+        """
+        elapsed = self.env.now - self._tick_anchor
+        period = self._tick_period
+        ticks = int(elapsed / period)
+        while ticks > 0 and ticks * period > elapsed:
+            ticks -= 1
+        while (ticks + 1) * period <= elapsed:
+            ticks += 1
+        return ticks
+
     @property
     def tick_time(self) -> float:
         """CPU time consumed by timer ticks on this core (both threads).
@@ -51,28 +73,29 @@ class Core:
         With virtual ticks enabled this is computed analytically --
         ``floor(elapsed / period) * cost`` ticks have been delivered
         since the anchor -- so no per-tick event ever enters the
-        scheduler queue. The floor boundary matches the legacy loop:
+        scheduler queue. The boundary matches the legacy loop for runs:
         ``env.run(until=t)`` dispatches events *at* ``t``, so a read
         after a run ending exactly on a tick boundary includes that
         tick in both modes.
+
+        Boundary caveat (see ``docs/performance.md``): equivalence with
+        the legacy loop is guaranteed for reads strictly *between* tick
+        timestamps. At an exact boundary, a read from an event that the
+        legacy kernel happens to dispatch *before* the tick event of the
+        same timestamp sees one fewer tick there than the analytic value
+        -- intra-timestamp ordering against the tick event is the one
+        thing a never-materialized tick cannot reproduce.
         """
-        anchor = self._tick_anchor
-        if anchor is None:
+        if self._tick_anchor is None:
             return self._tick_base
-        # The +1e-9 nudge forgives float noise ~1e6x smaller than any
-        # representable sub-period offset; without it an exact-boundary
-        # quotient that rounded a hair low would drop a whole tick.
-        ticks = int((self.env.now - anchor) / self._tick_period + 1e-9)
-        return self._tick_base + ticks * self._tick_cost
+        return self._tick_base + self._ticks_elapsed() * self._tick_cost
 
     @tick_time.setter
     def tick_time(self, value: float) -> None:
-        anchor = self._tick_anchor
-        if anchor is None:
+        if self._tick_anchor is None:
             self._tick_base = value
         else:
-            ticks = int((self.env.now - anchor) / self._tick_period + 1e-9)
-            self._tick_base = value - ticks * self._tick_cost
+            self._tick_base = value - self._ticks_elapsed() * self._tick_cost
 
     @property
     def awake(self) -> bool:

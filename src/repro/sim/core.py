@@ -302,12 +302,12 @@ class Environment:
         queue = self._queue
         best = _INF
         while queue:
-            when, priority, _, event = queue[0]
+            when, priority, seq, event = queue[0]
             if event._cancelled:
                 heapq.heappop(queue)
                 self._recycle(event)
                 continue
-            if type(event) is RearmableTimer and event._fire_at > when:
+            if type(event) is RearmableTimer and event._rearm_seq != seq:
                 heapq.heappop(queue)
                 self._push_rearmed(event, when, priority)
                 continue
@@ -341,13 +341,13 @@ class Environment:
             if wheel is not None and wheel._count:
                 self._promote_due(_INF)
             try:
-                now, priority, _, event = heapq.heappop(queue)
+                now, priority, seq, event = heapq.heappop(queue)
             except IndexError:
                 raise EmptySchedule() from None
             if event._cancelled:
                 self._recycle(event)
                 continue
-            if type(event) is RearmableTimer and event._fire_at > now:
+            if type(event) is RearmableTimer and event._rearm_seq != seq:
                 self._push_rearmed(event, now, priority)
                 continue
             break
@@ -446,6 +446,14 @@ class Environment:
                             elif type(event) is rearm_type:
                                 event._has_entry = False
                             continue
+                        if type(event) is rearm_type \
+                                and event._rearm_seq != cand[2]:
+                            # Stale entry of a re-armed poll timer can
+                            # reach the staged fast path too (armed and
+                            # re-armed within one dispatch): re-key it,
+                            # exactly like the heap-pop path below.
+                            self._push_rearmed(event, cand[0], cand[1])
+                            continue
                         entry = cand
                 if entry is None:
                     if queue:
@@ -470,9 +478,11 @@ class Environment:
                         elif type(event) is rearm_type:
                             event._has_entry = False
                         continue
-                    if type(event) is rearm_type and event._fire_at > cand[0]:
+                    if type(event) is rearm_type \
+                            and event._rearm_seq != cand[2]:
                         # Stale entry of a re-armed poll timer: re-key it
-                        # at the real deadline without advancing the clock.
+                        # at the real deadline (and the seq allocated at
+                        # re-arm time) without advancing the clock.
                         self._push_rearmed(event, cand[0], cand[1])
                         continue
                     entry = cand

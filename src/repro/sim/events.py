@@ -166,13 +166,19 @@ class RearmableTimer(Timeout):
 
     The scheduler keys its queue entry lazily: ``_entry_at`` is where the
     entry currently sits (heap or timer wheel), ``_fire_at`` is where the
-    timer should actually fire. A re-arm that only *extends* the deadline
-    touches neither queue -- the stale entry surfaces at ``_entry_at``
-    and is re-keyed to ``_fire_at`` then (see
-    ``Environment._push_rearmed``). Deliberately excluded from the
-    ``Timeout`` freelist (the pool check is an exact type check): a
-    pooled instance could be re-armed by a stale :class:`PollTimer`
-    after the kernel handed it to unrelated code.
+    timer should actually fire, and ``_rearm_seq`` is the sequence number
+    the timer must dispatch under. A re-arm whose deadline is at or after
+    the stale entry touches neither queue -- the entry surfaces at its
+    old ``(time, priority, seq)`` key, the scheduler notices the seq no
+    longer matches ``_rearm_seq``, and re-keys it to the real deadline
+    (see ``Environment._push_rearmed``). The seq comparison, not a
+    deadline comparison, is the staleness test: a re-arm to the *same*
+    deadline still allocates a fresh seq, and dispatching under the old
+    one would flip same-timestamp tie-break order relative to a freshly
+    created timeout. Deliberately excluded from the ``Timeout`` freelist
+    (the pool check is an exact type check): a pooled instance could be
+    re-armed by a stale :class:`PollTimer` after the kernel handed it to
+    unrelated code.
     """
 
     __slots__ = ("_fire_at", "_entry_at", "_has_entry", "_rearm_seq")
@@ -185,11 +191,12 @@ class RearmableTimer(Timeout):
         #: True while a queue entry (possibly stale) references this
         #: timer; reuse without a queue operation is only legal then.
         self._has_entry = True
-        #: Sequence number allocated by the last in-place re-arm; the
-        #: stale entry is re-keyed under it so the timer tie-breaks
-        #: exactly like a timeout created at re-arm time. Only read
-        #: when ``_fire_at > _entry_at``, which implies a re-arm set it.
-        self._rearm_seq = 0
+        #: The seq the timer must dispatch under -- the one allocated by
+        #: the most recent schedule or in-place re-arm. An entry
+        #: surfacing with any other seq is stale and gets re-keyed.
+        #: ``Timeout.__init__`` -> ``_schedule`` allocated exactly one
+        #: seq, so ``env._seq`` is this entry's key.
+        self._rearm_seq = env._seq
 
     def __repr__(self) -> str:
         return (f"<RearmableTimer delay={self.delay} "
@@ -208,8 +215,11 @@ class PollTimer:
 
     - if the previous timer was cancelled and its (stale) queue entry
       sits at or before the new deadline, the object is re-armed in
-      place with **zero queue operations** -- the stale entry surfaces
-      at its old key and is lazily re-keyed to the new deadline;
+      place with **zero queue operations at arm time** -- the stale
+      entry surfaces at its old key and is lazily re-keyed under the
+      deadline *and sequence number* allocated by the re-arm (an
+      equal-deadline re-arm still re-keys: the fresh seq is what keeps
+      same-timestamp tie-breaks identical to a fresh timeout);
     - if the previous timer already fired (or its entry was consumed),
       the object is re-scheduled, skipping only the allocation;
     - if the new deadline is *earlier* than the stale entry, the old
@@ -268,6 +278,7 @@ class PollTimer:
                 timer._defused = False
                 timer._cancelled = False
                 env._schedule(timer, NORMAL, delay)
+                timer._rearm_seq = env._seq
                 timer._fire_at = target
                 timer._entry_at = target
                 timer._has_entry = True

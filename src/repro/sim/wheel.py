@@ -160,7 +160,7 @@ class TimerWheel:
                     env._recycle(event)
                     continue
                 if (type(event) is RearmableTimer
-                        and event._fire_at > entry[0]):
+                        and event._rearm_seq != entry[2]):
                     # Re-armed while parked here: surface at the real
                     # deadline, under the seq allocated at re-arm time
                     # (exact legacy tie-break order). Straight to the
@@ -187,7 +187,7 @@ class TimerWheel:
                     env._recycle(event)
                     continue
                 if (type(event) is RearmableTimer
-                        and event._fire_at > entry[0]):
+                        and event._rearm_seq != entry[2]):
                     entry = (event._fire_at, entry[1],
                              event._rearm_seq, event)
                     event._entry_at = event._fire_at

@@ -53,18 +53,27 @@ def _drive(use_wheel, ops):
     live = []
 
     def driver():
+        def on_fire(ev, d):
+            log.append(("fire", env.now, d))
+            # Drop fired timers from the live list immediately: a fired
+            # Timeout goes back to the kernel freelist, and a retained
+            # reference may alias a *new* live timer handed out by a
+            # later env.timeout() -- cancelling through it would cancel
+            # that unrelated timer (and recycling timing legitimately
+            # differs between the wheel and heap kernels).
+            live.remove(ev)
+
         for op, delay, pick in ops:
             if op == "schedule":
                 timer = env.timeout(delay, value=len(log))
                 timer.callbacks.append(
-                    lambda ev, d=delay: log.append(("fire", env.now, d)))
+                    lambda ev, d=delay: on_fire(ev, d))
                 live.append(timer)
             elif op == "cancel" and live:
                 timer = live.pop(pick % len(live))
-                if timer.callbacks is not None:
-                    del timer.callbacks[:]
-                    timer.cancel()
-                    log.append(("cancel", env.now))
+                del timer.callbacks[:]
+                timer.cancel()
+                log.append(("cancel", env.now))
             else:
                 yield env.timeout(float(pick) * 977.0)
                 log.append(("ran", env.now))
@@ -217,6 +226,61 @@ def test_polltimer_counts_coalesced():
     assert env.timers_coalesced == poll.coalesced
 
 
+def test_rearm_while_stale_entry_staged_fires_at_new_deadline():
+    """A poll timer armed, cancelled, and re-armed within one dispatch
+    leaves its stale entry in the *staged* list; the inline fast path
+    must re-key it like the heap-pop path instead of firing the timer
+    at the stale (earlier) deadline."""
+    env = Environment()
+    poll = PollTimer(env)
+    fired = []
+
+    def on_start(_):
+        timer = poll.arm(200.0)
+        del timer.callbacks[:]
+        timer.cancel()
+        again = poll.arm(500.0)   # in-place reuse; stale entry staged @210
+        assert again is timer
+        again.callbacks.append(lambda ev: fired.append(env.now))
+
+    starter = env.timeout(10.0)
+    starter.callbacks.append(on_start)
+    env.run(until=1_000.0)
+    assert fired == [510.0]
+
+
+def test_equal_deadline_rearm_preserves_same_timestamp_order():
+    """Re-arming to the SAME deadline must tie-break like a fresh
+    timeout: an event whose seq falls between the original arm and the
+    re-arm, at the same timestamp, dispatches first."""
+    def run(use_poll):
+        env = Environment()
+        poll = PollTimer(env) if use_poll else None
+        log = []
+
+        def driver():
+            ev = env.event()
+            timer = poll.arm(100.0) if use_poll else env.timeout(100.0)
+
+            def kicker():
+                yield env.timeout(10.0)
+                ev.succeed()
+
+            env.process(kicker())
+            yield env.any_of([ev, timer])   # resumes at t=10; loser cancelled
+            mid = env.timeout(90.0)         # same deadline, seq in between
+            mid.callbacks.append(lambda e: log.append("mid"))
+            again = poll.arm(90.0) if use_poll else env.timeout(90.0)
+            again.callbacks.append(lambda e: log.append("poll"))
+            yield env.timeout(300.0)
+
+        env.process(driver())
+        env.run(until=1_000.0)
+        return log
+
+    assert run(True) == run(False) == ["mid", "poll"]
+
+
 def test_polltimer_rejects_rearm_while_pending():
     env = Environment()
     poll = PollTimer(env)
@@ -303,6 +367,38 @@ def test_slow_ticks_fall_back_to_legacy_loop(monkeypatch):
     # model cannot represent, hence the fallback).
     env.run(until=env.now + slow.deep_sleep_entry + 1.0)
     assert core.deep_sleep
+
+
+def test_virtual_tick_boundary_no_overcount_at_large_magnitude():
+    """A read representably *below* a tick boundary must not count that
+    boundary's tick, however large the timestamps -- a fixed quotient
+    nudge (the old +1e-9) forgives more than one ulp here and gains an
+    undelivered tick."""
+    import math
+    env = Environment(initial_time=1e12)
+    cpu = HostCpu(env, HwParams.pcie())
+    core = cpu.cores[0]
+    period, cost = 1_000_000.0, 17_000.0
+    core.enable_virtual_ticks(period, cost)
+    boundary = 1e12 + 3 * period
+    env._now = math.nextafter(boundary, 0.0)
+    assert core.tick_time == 2 * cost
+    env._now = boundary
+    assert core.tick_time == 3 * cost
+
+
+def test_virtual_tick_boundary_no_undercount_at_huge_tick_index():
+    """An exact-boundary read at a huge tick index must count the
+    boundary tick: relative error in the float quotient exceeds any
+    fixed nudge, so the count must be corrected in the time domain."""
+    env = Environment()
+    cpu = HostCpu(env, HwParams.pcie())
+    core = cpu.cores[0]
+    period = 1.0 / 3.0
+    core.enable_virtual_ticks(period, 1.0)   # anchor = 0
+    k = 14391780141791   # int(k*period/period + 1e-9) == k - 1
+    env._now = k * period
+    assert core.tick_time == float(k)
 
 
 def test_enable_virtual_ticks_twice_raises():
