@@ -50,6 +50,7 @@ import os
 import pickle
 import queue as queue_mod
 import sys
+import time
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.metrics import MetricsRegistry
@@ -198,11 +199,24 @@ def _run_spec_sharded(item: Tuple[int, PointSpec]):
 
 # -- parent side -------------------------------------------------------------
 
-def _drain_heartbeats(hb_queue, progress) -> None:
+def _drain_heartbeats(hb_queue, progress, final: bool = False) -> None:
+    """Absorb queued worker heartbeats into progress + health metrics.
+
+    ``final`` is set on the post-``pool.map`` drain: results arrive on a
+    different pipe than heartbeats, so the last "done" heartbeat can
+    still be in flight when the map completes. The final drain keeps
+    polling (briefly, bounded) until every point's heartbeat has been
+    accounted, so per-worker point counts never undercount.
+    """
+    deadline = time.monotonic() + 2.0
     while True:
         try:
             kind, index, pid, events = hb_queue.get_nowait()
         except queue_mod.Empty:
+            if (final and progress.done < progress.total
+                    and time.monotonic() < deadline):
+                time.sleep(0.005)
+                continue
             return
         except (OSError, EOFError):  # pragma: no cover -- pool teardown
             return
@@ -257,7 +271,7 @@ def run_points(specs: Iterable[PointSpec],
                 if pending.ready():
                     break
             pairs = pending.get()
-        _drain_heartbeats(hb_queue, progress)
+        _drain_heartbeats(hb_queue, progress, final=True)
     finally:
         progress.close()
 

@@ -7,6 +7,13 @@ Two measurements, written to ``BENCH_perf.json``:
   exercises exactly the hot paths the fast dispatch loop optimizes --
   heap pop, cancelled-event skipping, the ``Timeout`` freelist, and
   callback dispatch -- with no model code in the way.
+- **partitioned kernel vs serial**: the same workload spread over the
+  three hardware-derived timing domains (host / interconnect / NIC),
+  run through the partitioned parallel-DES engine
+  (:mod:`repro.sim.partition`) and the serial kernel; records the
+  relative throughput honestly (the exact-order merge trades a little
+  CPython overhead for determinism-checked partitioning) and gates on
+  dispatch-count equality.
 - **fig4a fast wall-clock**: the end-to-end Fig 4a sweep in ``--fast``
   mode, serially and (on multicore hosts) through the ``--jobs``
   process pool.
@@ -62,6 +69,12 @@ PRE_PR_BASELINE = {
 
 # --check fails when fresh events/sec < floor * committed events/sec.
 REGRESSION_FLOOR = 0.70
+# --check floor on the partitioned kernel's throughput relative to the
+# serial kernel on the same workload, same run. The exact-order merge
+# is expected to cost 0-20% on CPython (it buys determinism-checked
+# partitioning, not wall-clock, until domains can run on real cores);
+# below this floor the merge machinery itself has regressed.
+PARTITION_SPEEDUP_FLOOR = 0.45
 # --check also fails when fresh heap admissions creep more than 10%
 # above the committed count: the event-reduction machinery (timer
 # wheel, poll coalescing, virtual ticks) silently falling out of use
@@ -69,7 +82,21 @@ REGRESSION_FLOOR = 0.70
 EVENTS_CEILING = 1.10
 
 
-def _build_workload(env, chains, racers, preempts):
+def _build_workload(env, chains, racers, preempts, domains=None, cross=0):
+    """The kernel microbench workload.
+
+    ``domains``, when given, spreads the processes round-robin over
+    ``env.domain(...)`` tags (a no-op on serial envs, so serial and
+    partitioned runs build the byte-identical model). ``cross`` adds
+    that many cross-domain sender loops using the lookahead-checked
+    channel (plain timeouts on serial envs).
+    """
+    names = tuple(domains) if domains else ()
+
+    def tagged(index):
+        return env.domain(names[index % len(names)]) if names \
+            else env.domain("host")
+
     def chain(period):
         while True:
             yield env.timeout(period)
@@ -105,15 +132,28 @@ def _build_workload(env, chains, racers, preempts):
             if proc.is_alive:
                 proc.interrupt("slice")
 
+    def crosser(dst, period):
+        while True:
+            yield env.cross_timeout(dst, period)
+
     for i in range(chains):
-        env.process(chain(90 + i), name=f"chain{i}")
+        with tagged(i):
+            env.process(chain(90 + i), name=f"chain{i}")
     for i in range(racers):
         waiter, kicker = racer_pair(110 + i)
-        env.process(waiter(), name=f"waiter{i}")
-        env.process(kicker(), name=f"kicker{i}")
+        with tagged(i):
+            env.process(waiter(), name=f"waiter{i}")
+            env.process(kicker(), name=f"kicker{i}")
     for i in range(preempts):
-        proc = env.process(victim(), name=f"victim{i}")
-        env.process(preemptor(proc, 130 + i), name=f"preemptor{i}")
+        with tagged(i):
+            proc = env.process(victim(), name=f"victim{i}")
+            env.process(preemptor(proc, 130 + i), name=f"preemptor{i}")
+    for i in range(cross):
+        # Delay must clear the largest hw-derived lookahead window
+        # (910 ns for nic->host under the pcie preset).
+        with tagged(i):
+            env.process(crosser(names[(i + 1) % len(names)], 1_000 + i),
+                        name=f"cross{i}")
 
 
 def kernel_events_point(horizon_ns: int = 2_000_000, chains: int = 40,
@@ -158,6 +198,70 @@ def measure_kernel(repeats: int = 3) -> dict:
         "timers_coalesced": first["timers_coalesced"],
         "events_per_sec": round(best),
         "runs": runs,
+    }
+
+
+def partition_kernel_point(partitioned: bool, horizon_ns: int = 2_000_000,
+                           chains: int = 40, racers: int = 40,
+                           preempts: int = 10, cross: int = 9) -> dict:
+    """One partitioned-kernel bench run (serial when ``partitioned`` is
+    False); the same workload either way, spread over the three
+    hardware-derived domains with cross-domain sender loops."""
+    from repro.hw import HwParams
+    from repro.hw.pcie import Interconnect
+
+    env = Environment()
+    part = None
+    if partitioned:
+        plan = Interconnect(HwParams.pcie()).partition_plan()
+        part = env.enable_partition(plan, use_partition=True)
+        assert part is not None, "hw-derived plan must be usable"
+    _build_workload(env, chains, racers, preempts,
+                    domains=("host", "ic", "nic"), cross=cross)
+    t0 = time.perf_counter()
+    env.run(until=horizon_ns)
+    wall = time.perf_counter() - t0
+    point = {
+        "events_logical": env._seq,
+        "events_scheduled": env.events_scheduled,
+        "events_dispatched": env.events_dispatched,
+        "wall_s": round(wall, 4),
+    }
+    if part is not None:
+        point["domain_switches"] = part.domain_switches
+        point["cross_sends"] = part.cross_sends
+    return point
+
+
+def measure_partition(repeats: int = 3) -> dict:
+    """Serial vs partitioned kernel on the domain-spread workload.
+
+    The partitioned engine dispatches in the exact global order (it
+    must, for byte-identity), so this is a *merge overhead* measurement,
+    not a parallel-speedup one: expect ~0.8-1.0x on CPython, recorded
+    honestly. ``events_dispatched`` equality is the hard ``--check``
+    gate -- the two engines ran the identical workload or the bench is
+    meaningless.
+    """
+    partition_kernel_point(False, horizon_ns=200_000)  # warmup
+    partition_kernel_point(True, horizon_ns=200_000)
+    serial_runs = [partition_kernel_point(False) for _ in range(repeats)]
+    part_runs = [partition_kernel_point(True) for _ in range(repeats)]
+    serial_best = max(r["events_logical"] / r["wall_s"] for r in serial_runs)
+    part_best = max(r["events_logical"] / r["wall_s"] for r in part_runs)
+    serial, part = serial_runs[0], part_runs[0]
+    return {
+        "events_per_sec": round(part_best),
+        "serial_events_per_sec": round(serial_best),
+        "speedup_vs_serial": round(part_best / serial_best, 3),
+        "events_dispatched": part["events_dispatched"],
+        "serial_events_dispatched": serial["events_dispatched"],
+        "events_logical": part["events_logical"],
+        "events_scheduled": part["events_scheduled"],
+        "domain_switches": part["domain_switches"],
+        "cross_sends": part["cross_sends"],
+        "runs": part_runs,
+        "serial_runs": serial_runs,
     }
 
 
@@ -229,6 +333,15 @@ def main(fast: bool = False, check: bool = False,
     print(f"  events_scheduled={kernel['events_scheduled']:,} "
           f"best={kernel['events_per_sec']:,} ev/s", flush=True)
 
+    print("partitioned kernel (3 domains, cross-domain senders) vs "
+          "serial ...", flush=True)
+    partition = measure_partition(repeats=max(1, repeats))
+    print(f"  partitioned {partition['events_per_sec']:,} ev/s vs serial "
+          f"{partition['serial_events_per_sec']:,} ev/s "
+          f"({partition['speedup_vs_serial']:.2f}x), "
+          f"{partition['domain_switches']:,} domain switches, "
+          f"{partition['cross_sends']:,} cross sends", flush=True)
+
     result = {
         "schema": "wave-repro-perf/2",
         "host": {
@@ -237,6 +350,7 @@ def main(fast: bool = False, check: bool = False,
             "machine": platform.machine(),
         },
         "kernel": kernel,
+        "kernel_partition": partition,
         "pre_pr_baseline": PRE_PR_BASELINE,
         "kernel_speedup_vs_pre_pr": round(
             kernel["events_per_sec"]
@@ -312,11 +426,30 @@ def main(fast: bool = False, check: bool = False,
                       f"{events_got:,} > {ceiling:,.0f} (110% of "
                       f"committed {events_base:,})")
                 return 1
+        # Partitioned-kernel gates: dispatch-count equality is
+        # deterministic and exact (the two engines ran the same
+        # workload, or this bench proves nothing); the speedup floor is
+        # wide because it divides two noisy wall-clocks.
+        if (partition["events_dispatched"]
+                != partition["serial_events_dispatched"]):
+            print(f"PERF REGRESSION: partitioned kernel dispatched "
+                  f"{partition['events_dispatched']:,} events but the "
+                  f"serial kernel dispatched "
+                  f"{partition['serial_events_dispatched']:,} on the "
+                  f"same workload")
+            return 1
+        if partition["speedup_vs_serial"] < PARTITION_SPEEDUP_FLOOR:
+            print(f"PERF REGRESSION: partitioned kernel at "
+                  f"{partition['speedup_vs_serial']:.2f}x of serial < "
+                  f"{PARTITION_SPEEDUP_FLOOR:.2f}x floor")
+            return 1
         print(f"perf check OK: kernel {got:,} ev/s >= "
               f"{floor:,.0f} (70% of committed {base:,})"
               + (f", events_scheduled {events_got:,} <= "
                  f"{EVENTS_CEILING * events_base:,.0f}"
-                 if events_base and events_got else ""))
+                 if events_base and events_got else "")
+              + f", partitioned {partition['speedup_vs_serial']:.2f}x "
+              f"of serial with equal dispatch counts")
     return 0
 
 

@@ -46,6 +46,7 @@ def history_entry(result: dict, timestamp: str) -> dict:
     ``bench_<name>_events_scheduled`` scalar each, so the trajectory
     shows where event-count wins land or regress per benchmark."""
     kernel = result.get("kernel") or {}
+    partition = result.get("kernel_partition") or {}
     fig4a = result.get("fig4a_fast") or {}
     host = result.get("host") or {}
     entry = {
@@ -53,6 +54,8 @@ def history_entry(result: dict, timestamp: str) -> dict:
         "kernel_events_per_sec": kernel.get("events_per_sec"),
         "kernel_events_scheduled": kernel.get("events_scheduled"),
         "kernel_events_dispatched": kernel.get("events_dispatched"),
+        "partition_events_per_sec": partition.get("events_per_sec"),
+        "partition_speedup_vs_serial": partition.get("speedup_vs_serial"),
         "fig4a_serial_wall_s": fig4a.get("serial_wall_s"),
         "fig4a_parallel_wall_s": fig4a.get("parallel_wall_s"),
         "jobs": fig4a.get("jobs"),
@@ -157,6 +160,7 @@ def render_trend(history: List[dict], baseline: Optional[dict] = None,
             _fmt_num(entry.get("kernel_events_scheduled")),
             _fmt_delta(ev, prev_ev),
             _fmt_delta(ev, first_ev) if index else "-",
+            _fmt_num(entry.get("partition_speedup_vs_serial"), "x"),
             _fmt_num(entry.get("fig4a_serial_wall_s"), "s"),
             _fmt_num(entry.get("fig4a_parallel_wall_s"), "s"),
         ])
@@ -164,7 +168,7 @@ def render_trend(history: List[dict], baseline: Optional[dict] = None,
             prev_ev = ev
     out.append(md_table(
         ["run", "timestamp", "kernel ev/s", "events sched", "vs prev",
-         "vs first", "fig4a serial", "fig4a --jobs"],
+         "vs first", "partition", "fig4a serial", "fig4a --jobs"],
         rows))
     out.append("")
     bench_keys = sorted({key for e in entries for key in e

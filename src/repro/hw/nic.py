@@ -71,5 +71,10 @@ class SmartNic:
         if tel is not None:
             tel.span("msix.deliver", "pcie", dur_ns=wire)
             tel.count("msix_delivered", outcome="ok")
-        delivery = self.env.timeout(wire)
+        # The delivery crosses the NIC -> host boundary: route it through
+        # the lookahead-checked channel so the partitioned kernel can
+        # verify it respects the MSI-X minimum (wire >= send + e2e wire
+        # propagation >= the declared nic->host window, even stalled --
+        # stalls only inflate the propagation term).
+        delivery = self.env.cross_timeout("host", wire)
         return send, delivery

@@ -142,6 +142,43 @@ class HwParams:
     #: mappings legal on the host and remove software coherence.
     coherent: bool = False
 
+    def domain_lookahead(self) -> dict:
+        """Minimum cross-domain latencies: the conservative-PDES windows.
+
+        Maps ordered ``(src, dst)`` pairs over the three timing domains
+        -- ``host`` (socket), ``ic`` (interconnect), ``nic`` (SoC) --
+        to the smallest latency any modeled interaction can traverse
+        that hop in, derived from the Table 2 minima:
+
+        - ``host -> ic``: a posted UC write enters the fabric no faster
+          than ``mmio_write_uc``.
+        - ``ic -> nic``: the fastest host-originated signal becomes
+          visible NIC-side after ``min(mmio_write_visibility,
+          dma_base_latency)``; subtract the host->ic leg already paid.
+        - ``nic -> ic``: an MSI-X enters the fabric no faster than the
+          bare register write, ``msix_send_reg``.
+        - ``ic -> host``: the MSI-X wire propagation (e2e minus send
+          ioctl minus receive overhead), minus the nic->ic leg.
+
+        Used by :meth:`repro.hw.pcie.Interconnect.partition_plan`; any
+        window that comes out non-positive makes the plan unusable and
+        the kernel falls back to the serial path.
+        """
+        host_ic = self.mmio_write_uc
+        ic_nic = min(self.mmio_write_visibility,
+                     self.dma_base_latency) - host_ic
+        nic_ic = self.msix_send_reg
+        ic_host = (self.msix_e2e - self.msix_send_ioctl
+                   - self.msix_receive) - nic_ic
+        return {
+            ("host", "ic"): host_ic,
+            ("ic", "nic"): ic_nic,
+            ("host", "nic"): host_ic + ic_nic,
+            ("nic", "ic"): nic_ic,
+            ("ic", "host"): ic_host,
+            ("nic", "host"): nic_ic + ic_host,
+        }
+
     @classmethod
     def pcie(cls) -> "HwParams":
         """The paper's default testbed: PCIe-attached Mount Evans."""

@@ -77,6 +77,23 @@ class Interconnect:
         return (self.params.msix_e2e - self.params.msix_send_ioctl
                 - self.params.msix_receive) * self._stall_factor()
 
+    def partition_plan(self):
+        """The conservative-PDES partition this link's minima justify.
+
+        Three domains -- ``host``, ``ic``, ``nic`` -- with lookahead
+        windows from :meth:`HwParams.domain_lookahead`. Fault-injected
+        stalls only *inflate* link latencies, so the unstalled minima
+        stay valid lower bounds. Feed this to
+        :meth:`~repro.sim.core.Environment.enable_partition`; an
+        unusable plan (any window <= 0) falls back to the serial kernel
+        there.
+        """
+        from repro.sim.partition import HOST, INTERCONNECT, NIC, PartitionPlan
+
+        return PartitionPlan(names=(HOST, INTERCONNECT, NIC),
+                             lookahead=self.params.domain_lookahead(),
+                             default=HOST)
+
     # -- path factories ---------------------------------------------------
 
     def host_path(self, pte: PteType) -> MemPath:

@@ -28,6 +28,12 @@ _POOL_MAX = 256
 #: the wheel-vs-heap property tests drive it per-instance instead.
 _NO_WHEEL_ENV = "REPRO_NO_TIMER_WHEEL"
 
+#: Environment variable disabling the partitioned kernel: with it set,
+#: :meth:`Environment.enable_partition` is a no-op and every run takes
+#: the serial single-queue path. Differential-testing escape hatch,
+#: mirroring REPRO_NO_TIMER_WHEEL.
+_NO_PARTITION_ENV = "REPRO_NO_PARTITION"
+
 _INF = float("inf")
 
 
@@ -107,12 +113,23 @@ class Environment:
     dispatches (workload-determined -- identical for the same model code
     whatever the queueing strategy), :attr:`timers_coalesced` counts
     :class:`~repro.sim.events.PollTimer` in-place re-arms.
+
+    Engine contract: the queueing machinery behind this class is
+    *pluggable*. :meth:`enable_partition` swaps in the partitioned
+    engine from :mod:`repro.sim.partition` (per-domain heap + wheel,
+    conservative lookahead windows); every engine must preserve the
+    observable kernel semantics -- exact ``(time, priority, seq)``
+    dispatch order, the :attr:`_seq` stream, and
+    :attr:`events_dispatched` -- which the cross-engine conformance
+    suite (``tests/conformance/``) pins. Per-engine *admission* counters
+    (:attr:`events_scheduled`, :attr:`timers_coalesced`, wheel
+    diagnostics) may legitimately differ between engines.
     """
 
     __slots__ = ("_now", "_queue", "_seq", "_active_process", "faults",
                  "telemetry", "_timeout_pool", "_profile_hook", "_wheel",
-                 "_staged", "events_scheduled", "events_dispatched",
-                 "timers_coalesced")
+                 "_staged", "_partition", "events_scheduled",
+                 "events_dispatched", "timers_coalesced")
 
     def __init__(self, initial_time: float = 0,
                  use_wheel: Optional[bool] = None):
@@ -129,6 +146,9 @@ class Environment:
         #: heap (or dispatched inline) between callbacks. None outside
         #: the dispatch loop.
         self._staged: Optional[List[Tuple[float, int, int, Event]]] = None
+        #: Installed :class:`repro.sim.partition.PartitionEngine`, or
+        #: None for the serial single-queue kernel (the default).
+        self._partition = None
         self.events_scheduled = 0
         self.events_dispatched = 0
         self.timers_coalesced = 0
@@ -173,6 +193,9 @@ class Environment:
         ``env.timeout()`` dominates allocation in every experiment, so
         the returned object is owned by the kernel once it has fired.
         """
+        part = self._partition
+        if part is not None:
+            return part.timeout(delay, value)
         pool = self._timeout_pool
         if pool:
             if delay < 0:
@@ -217,6 +240,10 @@ class Environment:
     # -- scheduling --------------------------------------------------------
 
     def _schedule(self, event: Event, priority: int, delay: float = 0) -> None:
+        part = self._partition
+        if part is not None:
+            part.schedule(event, priority, delay)
+            return
         self._seq += 1
         wheel = self._wheel
         if wheel is not None and delay >= MIN_WHEEL_DELAY:
@@ -286,7 +313,7 @@ class Environment:
                 break
             if queue and queue[0][0] < start:
                 break
-            wheel.promote_next(self)
+            wheel.promote_next(self, queue)
         else:
             wheel._next_start = _INF
 
@@ -297,6 +324,9 @@ class Environment:
         idle queue of dead timers can never make the horizon look busy.
         Considers the timer wheel too (without promoting anything).
         """
+        part = self._partition
+        if part is not None:
+            return part.peek()
         if self._staged:
             self._flush_staged()
         queue = self._queue
@@ -335,6 +365,10 @@ class Environment:
 
     def step(self) -> None:
         """Process exactly one live event (skipping cancelled entries)."""
+        part = self._partition
+        if part is not None:
+            part.step()
+            return
         queue = self._queue
         wheel = self._wheel
         while True:
@@ -365,27 +399,15 @@ class Environment:
         returning its value -- or re-raising its stored exception if it
         already failed).
         """
-        if until is None:
-            stop_at = _INF
-        elif isinstance(until, Event):
-            if until.callbacks is None:
-                if until._cancelled or until._value is PENDING:
-                    raise RuntimeError(
-                        f"cannot run until cancelled {until!r}")
-                if until._ok:
-                    return until._value
-                # Already processed *and failed*: surface the stored
-                # exception, matching _stop_callback semantics, instead
-                # of silently swallowing it.
-                exc = until._value
-                raise type(exc)(*exc.args) from exc
-            until.callbacks.append(self._stop_callback)
-            stop_at = _INF
-        else:
-            stop_at = float(until)
-            if stop_at < self._now:
-                raise ValueError(
-                    f"until ({stop_at}) must not be before now ({self._now})")
+        resolved = self._resolve_until(until)
+        if resolved is None:
+            # `until` is an already-succeeded event: nothing to run.
+            return until._value
+        stop_at = resolved
+
+        part = self._partition
+        if part is not None:
+            return part.run(until, stop_at)
 
         if self._profile_hook is not None:
             # Profiled path: per-event bookkeeping lives in step().
@@ -512,6 +534,35 @@ class Environment:
                 self._staged = None
         return self._finish_run(until, stop_at)
 
+    def _resolve_until(self, until: Any) -> Optional[float]:
+        """Turn ``run``'s ``until`` into a stop time (shared by engines).
+
+        Returns the stop time, arming the stop callback when ``until``
+        is a pending event -- or None when ``until`` is an event that
+        already succeeded (the run is a no-op returning its value).
+        """
+        if until is None:
+            return _INF
+        if isinstance(until, Event):
+            if until.callbacks is None:
+                if until._cancelled or until._value is PENDING:
+                    raise RuntimeError(
+                        f"cannot run until cancelled {until!r}")
+                if until._ok:
+                    return None
+                # Already processed *and failed*: surface the stored
+                # exception, matching _stop_callback semantics, instead
+                # of silently swallowing it.
+                exc = until._value
+                raise type(exc)(*exc.args) from exc
+            until.callbacks.append(self._stop_callback)
+            return _INF
+        stop_at = float(until)
+        if stop_at < self._now:
+            raise ValueError(
+                f"until ({stop_at}) must not be before now ({self._now})")
+        return stop_at
+
     def _finish_run(self, until: Any, stop_at: float) -> Any:
         if not isinstance(until, Event):
             # Advance the clock to the requested stop time even if the
@@ -528,3 +579,89 @@ class Environment:
         if event.ok:
             raise StopSimulation(event.value)
         raise type(event.value)(*event.value.args) from event.value
+
+    # -- partitioned engine (repro.sim.partition) --------------------------
+
+    @property
+    def partition(self):
+        """The installed partition engine, or None (serial kernel)."""
+        return self._partition
+
+    def enable_partition(self, plan, use_partition: Optional[bool] = None):
+        """Install the partitioned parallel-DES engine for this env.
+
+        ``plan`` is a :class:`repro.sim.partition.PartitionPlan` naming
+        the domains and the per-pair lookahead windows (minimum
+        cross-domain latencies, ns). Returns the installed engine, or
+        None when the kernel falls back to the serial path because:
+
+        - ``use_partition`` is False (explicit opt-out), or
+        - ``REPRO_NO_PARTITION`` is set in the environment, or
+        - the plan is missing / has fewer than two domains, or
+        - any lookahead window is zero or negative -- a conservative
+          engine with no lookahead cannot outrun the serial kernel, so
+          it refuses to install rather than run degenerate.
+
+        Must be called before any event is scheduled (fresh env only);
+        already-scheduled entries would be stranded in the serial queue.
+        """
+        from repro.sim.partition import PartitionEngine
+
+        if use_partition is None:
+            use_partition = not os.environ.get(_NO_PARTITION_ENV)
+        if not use_partition or plan is None or not plan.usable():
+            return None
+        if self._partition is not None:
+            raise RuntimeError("partition engine already installed")
+        if self._queue or self._staged or (
+                self._wheel is not None and self._wheel._count):
+            raise RuntimeError(
+                "enable_partition() requires a fresh environment "
+                "(events already scheduled)")
+        self._partition = PartitionEngine(self, plan)
+        return self._partition
+
+    def domain(self, name: str):
+        """Context manager routing schedules to domain ``name``.
+
+        Serial kernel: a no-op context (so model code can tag domains
+        unconditionally). Partitioned: events scheduled -- and processes
+        created -- inside the block belong to ``name``.
+        """
+        part = self._partition
+        if part is None:
+            return _NULL_DOMAIN
+        return part.domain_context(name)
+
+    def cross_timeout(self, dst: str, delay: float,
+                      value: Any = None) -> Timeout:
+        """A timer that fires in domain ``dst``, ``delay`` ns from now.
+
+        The lookahead-checked cross-domain channel: under the
+        partitioned engine a send from domain *s* to a different domain
+        *d* must respect the declared minimum latency
+        (``delay >= lookahead[s -> d]``) or
+        :class:`repro.sim.partition.LookaheadViolation` is raised --
+        the machine-checked form of the forward-in-time causality the
+        conservative kernel depends on. Serial kernel: identical to
+        :meth:`timeout`.
+        """
+        part = self._partition
+        if part is None:
+            return self.timeout(delay, value)
+        return part.cross_timeout(dst, delay, value)
+
+
+class _NullDomainContext:
+    """``env.domain(...)`` under the serial kernel: does nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_DOMAIN = _NullDomainContext()

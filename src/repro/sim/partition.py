@@ -1,0 +1,630 @@
+"""Partitioned parallel-DES engine: per-domain queues + lookahead.
+
+Wave's hardware split gives the simulator natural *conservative-PDES*
+structure (Chandy/Misra/Bryant): the host socket, the NIC SoC, and the
+interconnect between them are separate timing domains, and every
+cross-domain interaction pays a known physical minimum -- a PCIe UC
+write doesn't land in under ``mmio_write_uc`` ns, an MSI-X doesn't
+deliver in under the propagation window (Table 2 of the paper). Those
+minima are exactly the *lookahead* a partitioned kernel needs: while
+one domain dispatches, no other domain can inject an event into it
+earlier than ``now + lookahead``.
+
+This engine partitions the event queue accordingly: each
+:class:`Domain` owns a binary heap, a hierarchical
+:class:`~repro.sim.wheel.TimerWheel`, and a staged list, and the run
+loop alternates between domains under a conservative safe-time window.
+
+**Exact-order dispatch.** The model layer is plain Python sharing one
+RNG and mutable state, so the engine must preserve the *global*
+``(time, priority, seq)`` dispatch order exactly -- the run loop is a
+merge across the per-domain queues, never an out-of-order execution.
+That makes byte-identity unconditional on the quality of the domain
+tagging (a mis-tagged event still dispatches at its exact global
+position), which is what lets the golden digest stay pinned while
+partitioning is toggled freely. Lookahead is instead enforced on the
+explicit cross-domain channel (:meth:`Environment.cross_timeout`): a
+send below the declared minimum raises :class:`LookaheadViolation`.
+This is the machine-checked form of the forward-in-time causality
+assumption the Borrill critique attacks -- the kernel *states* the
+windows it relies on and refuses inputs that break them, instead of
+assuming them silently.
+
+**Safe-time windows.** When the run loop picks the domain owning the
+globally earliest live event, it may keep dispatching that domain's
+events without re-consulting the others until it reaches the *bound*:
+the runner-up lower bound across all other domains (their cleaned heap
+heads, their wheels' earliest bucket starts). Cross-domain inserts made
+while a domain runs lower the bound immediately, so the window is
+always conservative. Within the window the inner loop is the same
+tight dispatch loop as the serial kernel -- staged fast path, lazy
+cancellation, freelist recycling, per-domain wheel promotion.
+
+**Fallbacks.** The serial single-queue kernel remains the default;
+:meth:`Environment.enable_partition` refuses to install (returning
+None) when ``REPRO_NO_PARTITION`` is set, ``use_partition=False`` is
+passed, or any lookahead window is zero/negative -- a conservative
+engine with no lookahead degenerates to lockstep, so zero-lookahead
+plans fall back to the serial path by design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.sim.core import (EmptySchedule, Environment, StopSimulation,
+                            _POOL_MAX)
+from repro.sim.events import Event, NORMAL, RearmableTimer, Timeout
+from repro.sim.wheel import (MIN_COARSE_DELAY, MIN_WHEEL_DELAY, TimerWheel)
+
+_INF = float("inf")
+
+#: Sentinel ordering key greater than every real ``(time, ...)`` key.
+#: A 1-tuple: comparisons against real keys are decided on element 0
+#: (real times are finite), and two sentinels compare equal.
+_INF_KEY: Tuple[float, ...] = (_INF,)
+
+#: Canonical domain names for the Wave hardware split. Plans are free
+#: to use any names; these are what `hw/` derives from Table 2.
+HOST = "host"
+INTERCONNECT = "ic"
+NIC = "nic"
+
+
+class LookaheadViolation(RuntimeError):
+    """A cross-domain send below the declared minimum latency.
+
+    Raised by :meth:`Environment.cross_timeout` under the partitioned
+    engine: the sender claimed domain-to-domain delivery faster than
+    the hardware minimum its partition plan declared, which would break
+    the conservative safe-time window (and, physically, the PCIe
+    timing model the plan was derived from).
+    """
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Domain names plus per-ordered-pair lookahead windows (ns).
+
+    ``lookahead[(src, dst)]`` is the minimum latency any explicit
+    cross-domain send from ``src`` to ``dst`` must respect. A plan is
+    :meth:`usable` only when every ordered pair of distinct domains has
+    a strictly positive window -- zero lookahead means the partitioned
+    engine cannot promise anything beyond lockstep, so the kernel falls
+    back to the serial path instead.
+    """
+
+    names: Tuple[str, ...]
+    lookahead: Mapping[Tuple[str, str], float] = field(default_factory=dict)
+    default: str = ""
+
+    def __post_init__(self):
+        if not self.default and self.names:
+            object.__setattr__(self, "default", self.names[0])
+
+    @classmethod
+    def uniform(cls, names, window: float,
+                default: Optional[str] = None) -> "PartitionPlan":
+        """All ordered pairs share one lookahead window."""
+        names = tuple(names)
+        lookahead = {(a, b): float(window)
+                     for a in names for b in names if a != b}
+        return cls(names, lookahead, default or (names[0] if names else ""))
+
+    def window(self, src: str, dst: str) -> float:
+        """Lookahead for ``src -> dst`` (0.0 when undeclared)."""
+        return self.lookahead.get((src, dst), 0.0)
+
+    def min_window(self) -> float:
+        """The smallest declared pairwise window (+inf if none)."""
+        pairs = [(a, b) for a in self.names for b in self.names if a != b]
+        if not pairs:
+            return _INF
+        return min(self.window(a, b) for a, b in pairs)
+
+    def usable(self) -> bool:
+        """True when partitioning this plan can beat the serial path."""
+        if len(self.names) < 2 or len(set(self.names)) != len(self.names):
+            return False
+        if self.default not in self.names:
+            return False
+        for a in self.names:
+            for b in self.names:
+                if a != b and self.window(a, b) <= 0:
+                    return False
+        return True
+
+
+class Domain:
+    """One timing domain's share of the event queue."""
+
+    __slots__ = ("name", "index", "queue", "wheel", "staged")
+
+    def __init__(self, name: str, index: int,
+                 wheel: Optional[TimerWheel]):
+        self.name = name
+        self.index = index
+        self.queue: List[Tuple[float, int, int, Event]] = []
+        self.wheel = wheel
+        #: Same-turn schedules made while *this* domain is dispatching;
+        #: mirrors the serial kernel's staged list, per domain.
+        self.staged: List[Tuple[float, int, int, Event]] = []
+
+    def __repr__(self) -> str:
+        return (f"<Domain {self.name!r} queue={len(self.queue)} "
+                f"wheel={len(self.wheel) if self.wheel is not None else 0}>")
+
+
+class _DomainContext:
+    """``env.domain(name)`` under the partitioned engine."""
+
+    __slots__ = ("_part", "_domain", "_prev")
+
+    def __init__(self, part: "PartitionEngine", domain: Domain):
+        self._part = part
+        self._domain = domain
+        self._prev: Optional[Domain] = None
+
+    def __enter__(self):
+        self._prev = self._part.current
+        self._part.current = self._domain
+        return self._domain.name
+
+    def __exit__(self, *exc):
+        self._part.current = self._prev
+        return False
+
+
+class PartitionEngine:
+    """The partitioned event-queue engine behind an :class:`Environment`.
+
+    Installed by :meth:`Environment.enable_partition`; the environment
+    forwards ``timeout``/``_schedule``/``run``/``step``/``peek`` here.
+    Must preserve the serial kernel's observable semantics exactly --
+    the cross-engine conformance suite (``tests/conformance/``) is the
+    proof obligation for every edit to this file.
+    """
+
+    __slots__ = ("env", "plan", "domains", "_by_name", "default", "current",
+                 "_running", "_run_domain", "_bound", "cross_sends",
+                 "domain_switches")
+
+    def __init__(self, env: Environment, plan: PartitionPlan):
+        self.env = env
+        self.plan = plan
+        use_wheel = env._wheel is not None
+        self.domains: List[Domain] = []
+        self._by_name: Dict[str, Domain] = {}
+        for index, name in enumerate(plan.names):
+            if index == 0:
+                # The first-listed domain adopts the (empty) structures
+                # the environment built, so `env._wheel is None` keeps
+                # meaning "wheel disabled" for every domain.
+                wheel = env._wheel
+            else:
+                wheel = TimerWheel() if use_wheel else None
+            domain = Domain(name, index, wheel)
+            self.domains.append(domain)
+            self._by_name[name] = domain
+        self.domains[0].queue = env._queue
+        self.default = self._by_name[plan.default]
+        #: The ambient routing target: events scheduled with no explicit
+        #: domain land here. Dispatch sets it to the dispatching event's
+        #: domain; `Process._resume` pins it to the process's home
+        #: domain; `env.domain(...)` overrides it lexically.
+        self.current: Domain = self.default
+        self._running = False
+        self._run_domain: Optional[Domain] = None
+        #: While running: a lower bound (ordering key) on the earliest
+        #: pending event in every domain *other than* the running one.
+        self._bound: Tuple = _INF_KEY
+        #: Lifetime diagnostics.
+        self.cross_sends = 0
+        self.domain_switches = 0
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def domain_count(self) -> int:
+        return len(self.domains)
+
+    def domain_names(self) -> Tuple[str, ...]:
+        return tuple(d.name for d in self.domains)
+
+    def domain_context(self, name: str) -> _DomainContext:
+        domain = self._by_name.get(name)
+        if domain is None:
+            raise ValueError(f"unknown domain {name!r}; "
+                             f"plan has {self.domain_names()}")
+        return _DomainContext(self, domain)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _insert(self, domain: Domain, when: float, priority: int, seq: int,
+                event: Event, delay: float) -> None:
+        """File one entry in ``domain``'s share of the queue.
+
+        Far timers go to the domain's wheel; same-turn schedules into
+        the *running* domain are staged (serial fast-path semantics);
+        everything else is a counted heap admission. Inserts into a
+        non-running domain lower the safe-time bound immediately, so
+        the inner loop can never dispatch past them.
+        """
+        env = self.env
+        wheel = domain.wheel
+        if wheel is not None and delay >= MIN_WHEEL_DELAY:
+            wheel.insert(when, priority, seq, event,
+                         delay >= MIN_COARSE_DELAY)
+            if self._running and domain is not self._run_domain:
+                start = wheel._next_start
+                if start < self._bound[0]:
+                    self._bound = (start, -1, -1)
+            return
+        entry = (when, priority, seq, event)
+        if self._running and domain is self._run_domain:
+            domain.staged.append(entry)
+            return
+        env.events_scheduled += 1
+        heappush(domain.queue, entry)
+        if self._running and entry < self._bound:
+            self._bound = entry
+
+    def schedule(self, event: Event, priority: int, delay: float) -> None:
+        """`Environment._schedule` under partitioning: route to current."""
+        env = self.env
+        env._seq += 1
+        self._insert(self.current, env._now + delay, priority, env._seq,
+                     event, delay)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """`Environment.timeout` under partitioning (freelist + route)."""
+        env = self.env
+        pool = env._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            timer = pool.pop()
+            timer.delay = delay
+            timer.callbacks = []
+            timer._value = value
+            timer._ok = True
+            timer._defused = False
+            timer._cancelled = False
+            env._seq += 1
+            self._insert(self.current, env._now + delay, NORMAL, env._seq,
+                         timer, delay)
+            return timer
+        return Timeout(env, delay, value)
+
+    def cross_timeout(self, dst: str, delay: float,
+                      value: Any = None) -> Timeout:
+        """The lookahead-checked cross-domain channel."""
+        target = self._by_name.get(dst)
+        if target is None:
+            raise ValueError(f"unknown domain {dst!r}; "
+                             f"plan has {self.domain_names()}")
+        src = self.current
+        if target is not src:
+            window = self.plan.window(src.name, dst)
+            if delay < window:
+                raise LookaheadViolation(
+                    f"cross-domain send {src.name!r} -> {dst!r} with "
+                    f"delay {delay} ns violates the declared lookahead "
+                    f"window of {window} ns")
+            self.cross_sends += 1
+        prev = self.current
+        self.current = target
+        try:
+            return self.timeout(delay, value)
+        finally:
+            self.current = prev
+
+    def _push_rearmed(self, domain: Domain, surfaced_at: float,
+                      priority: int, event: RearmableTimer) -> None:
+        """Re-key a re-armed poll timer in the domain that surfaced it.
+
+        Same re-keying rule as the serial kernel (`_rearm_seq`, exact
+        legacy tie-break order); the entry stays in the domain whose
+        queue held it -- domain placement never affects dispatch order,
+        only staging and bounds.
+        """
+        fire_at = event._fire_at
+        wheel = domain.wheel
+        if wheel is not None and fire_at - surfaced_at >= MIN_WHEEL_DELAY:
+            wheel.insert(fire_at, priority, event._rearm_seq, event,
+                         fire_at - surfaced_at >= MIN_COARSE_DELAY)
+        else:
+            self.env.events_scheduled += 1
+            heappush(domain.queue,
+                     (fire_at, priority, event._rearm_seq, event))
+        event._entry_at = fire_at
+
+    def _flush_staged(self, domain: Domain) -> None:
+        staged = domain.staged
+        if staged:
+            queue = domain.queue
+            push = heappush
+            for entry in staged:
+                push(queue, entry)
+            self.env.events_scheduled += len(staged)
+            del staged[:]
+
+    def _promote_domain(self, domain: Domain, stop_at: float) -> None:
+        """Promote ``domain``'s due wheel buckets (serial promotion rule)."""
+        wheel = domain.wheel
+        queue = domain.queue
+        env = self.env
+        while wheel._count:
+            start = wheel.next_start()
+            if start > stop_at:
+                break
+            if queue and queue[0][0] < start:
+                break
+            wheel.promote_next(env, queue)
+        else:
+            wheel._next_start = _INF
+
+    # -- the merge ---------------------------------------------------------
+
+    def _head_bound(self, domain: Domain):
+        """A lower-bound ordering key for ``domain``'s earliest event.
+
+        Pops cancelled and stale re-arm entries off the heap head on
+        the way (lazy cleaning, as the serial loop does at pop time).
+        Returns the live head entry itself (exact), the wheel's next
+        bucket start as ``(start, -1, -1)`` (conservative: every parked
+        entry's deadline is >= its bucket start), or :data:`_INF_KEY`.
+        """
+        env = self.env
+        queue = domain.queue
+        qhead = None
+        while queue:
+            head = queue[0]
+            event = head[3]
+            if event._cancelled:
+                heappop(queue)
+                env._recycle(event)
+                continue
+            if type(event) is RearmableTimer and event._rearm_seq != head[2]:
+                heappop(queue)
+                self._push_rearmed(domain, head[0], head[1], event)
+                continue
+            qhead = head
+            break
+        wheel = domain.wheel
+        if wheel is not None and wheel._count:
+            start = wheel._next_start
+            if qhead is None or start < qhead[0]:
+                return (start, -1, -1)
+        return qhead if qhead is not None else _INF_KEY
+
+    def _select(self, stop_at: float):
+        """Pick the domain owning the globally earliest live event.
+
+        Returns ``(domain, bound)`` -- the winner plus the runner-up
+        key across the other domains (the safe-time window's edge) --
+        or None when nothing is due at or before ``stop_at``. Promotes
+        the winner's due wheel buckets first, so the returned winner
+        always has its next live event surfaced on its heap.
+        """
+        domains = self.domains
+        while True:
+            best_key: Tuple = _INF_KEY
+            second: Tuple = _INF_KEY
+            best = None
+            for domain in domains:
+                key = self._head_bound(domain)
+                if key < best_key:
+                    second = best_key
+                    best_key = key
+                    best = domain
+                elif key < second:
+                    second = key
+            if best is None or best_key[0] > stop_at:
+                return None
+            wheel = best.wheel
+            if wheel is not None and wheel._count:
+                queue = best.queue
+                if not queue or wheel._next_start <= queue[0][0]:
+                    # The winner's earliest event may still be parked in
+                    # its wheel: promote the due buckets and re-select.
+                    self._promote_domain(best, stop_at)
+                    continue
+            return best, second
+
+    def _run_inner(self, domain: Domain, stop_at: float) -> None:
+        """Dispatch ``domain``'s events inside the safe-time window.
+
+        The serial kernel's inline loop, fenced by ``self._bound``: the
+        loop stops as soon as the domain's next candidate would reach
+        the earliest event any *other* domain could hold. Cross-domain
+        inserts made by the dispatched callbacks lower the bound en
+        route, so the fence is re-read every iteration.
+        """
+        env = self.env
+        queue = domain.queue
+        staged = domain.staged
+        wheel = domain.wheel
+        pool = env._timeout_pool
+        pop = heappop
+        timeout_type = Timeout
+        rearm_type = RearmableTimer
+        self._run_domain = domain
+        self.current = domain
+        dispatched = 0
+        try:
+            while True:
+                bound = self._bound
+                entry = None
+                if staged:
+                    cand = staged[0] if len(staged) == 1 else min(staged)
+                    if wheel is not None and wheel._next_start <= cand[0]:
+                        self._flush_staged(domain)
+                    elif queue and queue[0] < cand:
+                        self._flush_staged(domain)
+                    elif cand[0] > stop_at:
+                        self._flush_staged(domain)
+                        return
+                    elif cand >= bound:
+                        # The window closed before the staged entry:
+                        # hand back to the outer merge.
+                        self._flush_staged(domain)
+                        return
+                    else:
+                        if len(staged) == 1:
+                            del staged[:]
+                        else:
+                            staged.remove(cand)
+                        event = cand[3]
+                        if event._cancelled:
+                            if type(event) is timeout_type \
+                                    and len(pool) < _POOL_MAX:
+                                pool.append(event)
+                            elif type(event) is rearm_type:
+                                event._has_entry = False
+                            continue
+                        if type(event) is rearm_type \
+                                and event._rearm_seq != cand[2]:
+                            self._push_rearmed(domain, cand[0], cand[1],
+                                               event)
+                            continue
+                        entry = cand
+                if entry is None:
+                    if queue:
+                        head_time = queue[0][0]
+                        if (wheel is not None
+                                and wheel._next_start <= head_time):
+                            self._promote_domain(domain, stop_at)
+                            head_time = queue[0][0] if queue else _INF
+                        if head_time > stop_at:
+                            return
+                    else:
+                        if wheel is not None \
+                                and wheel._next_start <= stop_at:
+                            self._promote_domain(domain, stop_at)
+                        if not queue or queue[0][0] > stop_at:
+                            return
+                    if queue[0] >= bound:
+                        return
+                    cand = pop(queue)
+                    event = cand[3]
+                    if event._cancelled:
+                        if type(event) is timeout_type \
+                                and len(pool) < _POOL_MAX:
+                            pool.append(event)
+                        elif type(event) is rearm_type:
+                            event._has_entry = False
+                        continue
+                    if type(event) is rearm_type \
+                            and event._rearm_seq != cand[2]:
+                        self._push_rearmed(domain, cand[0], cand[1], event)
+                        continue
+                    entry = cand
+                env._now = entry[0]
+                dispatched += 1
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    # A failure nobody waited on: surface it.
+                    exc = event._value
+                    raise type(exc)(*exc.args) from exc
+                if type(event) is timeout_type and len(pool) < _POOL_MAX:
+                    pool.append(event)
+                elif type(event) is rearm_type:
+                    event._has_entry = False
+        finally:
+            env.events_dispatched += dispatched
+
+    def run(self, until: Any, stop_at: float) -> Any:
+        """`Environment.run` under partitioning: merge across domains."""
+        env = self.env
+        if env._profile_hook is not None:
+            # Profiled path: one select per event, per-event bookkeeping
+            # in the hook (mirrors the serial stepped path).
+            hook = env._profile_hook
+            try:
+                while True:
+                    sel = self._select(stop_at)
+                    if sel is None:
+                        break
+                    domain, _ = sel
+                    when, priority, seq, event = heappop(domain.queue)
+                    self.current = domain
+                    hook(env, when, event)
+            except StopSimulation as stop:
+                return stop.args[0]
+            return env._finish_run(until, stop_at)
+        self._running = True
+        self._bound = _INF_KEY
+        try:
+            while True:
+                sel = self._select(stop_at)
+                if sel is None:
+                    break
+                domain, second = sel
+                self._bound = second
+                self.domain_switches += 1
+                self._run_inner(domain, stop_at)
+        except StopSimulation as stop:
+            return stop.args[0]
+        finally:
+            self._running = False
+            self._run_domain = None
+            self._bound = _INF_KEY
+            # Exception paths may leave staged entries behind; they must
+            # land in their heaps so a resumed run dispatches them.
+            for domain in self.domains:
+                if domain.staged:
+                    self._flush_staged(domain)
+        return env._finish_run(until, stop_at)
+
+    def step(self) -> None:
+        """`Environment.step` under partitioning: one global-min event."""
+        env = self.env
+        sel = self._select(_INF)
+        if sel is None:
+            raise EmptySchedule() from None
+        domain, _ = sel
+        when, priority, seq, event = heappop(domain.queue)
+        self.current = domain
+        hook = env._profile_hook
+        if hook is None:
+            env._process_event(when, event)
+        else:
+            hook(env, when, event)
+
+    def peek(self) -> float:
+        """`Environment.peek` under partitioning: min across domains."""
+        env = self.env
+        if self._running and self._run_domain is not None:
+            self._flush_staged(self._run_domain)
+        best = _INF
+        for domain in self.domains:
+            queue = domain.queue
+            while queue:
+                when, priority, seq, event = queue[0]
+                if event._cancelled:
+                    heappop(queue)
+                    env._recycle(event)
+                    continue
+                if type(event) is RearmableTimer \
+                        and event._rearm_seq != seq:
+                    heappop(queue)
+                    self._push_rearmed(domain, when, priority, event)
+                    continue
+                if when < best:
+                    best = when
+                break
+            wheel = domain.wheel
+            if wheel is not None and wheel._count:
+                earliest = wheel.earliest_deadline()
+                if earliest < best:
+                    best = earliest
+        return best
+
+
+__all__ = ["PartitionPlan", "PartitionEngine", "Domain",
+           "LookaheadViolation", "HOST", "INTERCONNECT", "NIC"]

@@ -77,7 +77,7 @@ class Process(Event):
     exception that escaped it).
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "domain")
 
     def __init__(self, env, generator: Generator, name: str = ""):  # noqa: F821
         if not hasattr(generator, "throw"):
@@ -85,6 +85,13 @@ class Process(Event):
         super().__init__(env)
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
+        #: Home domain under the partitioned engine (the domain current
+        #: at creation -- see ``env.domain(...)``); None on the serial
+        #: kernel. Every resume runs with the ambient scheduling target
+        #: pinned here, so a process's timers stay in its own domain
+        #: even when a cross-domain event wakes it.
+        part = env._partition
+        self.domain = part.current if part is not None else None
         self._target: Optional[Event] = _Initialize(env, self)
 
     @property
@@ -98,6 +105,21 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         env = self.env
+        part = env._partition
+        if part is None:
+            self._resume_inner(env, event)
+            return
+        # Partitioned engine: pin ambient scheduling to the process's
+        # home domain for the duration of the resume, whatever domain's
+        # event woke it, then restore the dispatcher's routing target.
+        prev = part.current
+        part.current = self.domain
+        try:
+            self._resume_inner(env, event)
+        finally:
+            part.current = prev
+
+    def _resume_inner(self, env, event: Event) -> None:
         env._active_process = self
         generator = self._generator
         while True:

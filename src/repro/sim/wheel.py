@@ -131,12 +131,14 @@ class TimerWheel:
         self._next_start = best
         return best
 
-    def promote_next(self, env) -> None:
+    def promote_next(self, env, queue: List[Entry]) -> None:
         """Move the earliest bucket's entries one level down.
 
-        Fine entries go into ``env``'s heap (cancelled ones are dropped
-        and recycled; re-armed :class:`RearmableTimer` entries are
-        re-keyed at their current deadline). Coarse entries cascade into
+        Fine entries go into ``queue`` -- the heap this wheel feeds
+        (``env._queue`` for the serial kernel, the owning domain's queue
+        under ``repro.sim.partition``); cancelled ones are dropped and
+        recycled, and re-armed :class:`RearmableTimer` entries are
+        re-keyed at their current deadline. Coarse entries cascade into
         fine buckets keyed by their own deadline, so a long-lived timer
         costs one dict append per level, total, over its whole life.
         """
@@ -145,7 +147,6 @@ class TimerWheel:
         fine_start = fine_idx * FINE_GRAIN if fine_idx is not None else _INF
         coarse_start = (coarse_idx * COARSE_GRAIN
                         if coarse_idx is not None else _INF)
-        queue = env._queue
         if fine_start <= coarse_start:
             if fine_idx is None:
                 return

@@ -19,13 +19,22 @@ depended on what ran earlier in the process; they now reset at every
 ``repro.sim.core.register_run_id_reset`` -- so pooled sweep workers
 emit the same span args as a serial run. The hash predates that and
 keeps its narrower footing.)
+
+Since the partitioned parallel-DES engine (``repro.sim.partition``)
+became the Machine default, the golden digest doubles as the
+*byte-identity bar* for partitioning: the differential tests at the
+bottom run the same figure points with the engine forced off
+(``REPRO_NO_PARTITION``) and demand identical traces, aggregates, and
+telemetry digests -- while asserting the on-runs really partitioned.
 """
 
 import hashlib
 
 from repro.core import Placement, WaveOpts
+from repro.obs import Telemetry, metrics_digest
 from repro.sched import FifoPolicy
 from repro.sched.experiment import run_sched_point
+from repro.sched.vm_experiment import run_vm_point
 from repro.workloads import RocksDbModel
 
 #: sha256 of the reduced-scale seed-1 event sequence. If a change to
@@ -35,14 +44,14 @@ GOLDEN_DIGEST = \
     "9a3735f86405819cf1dde447e06e94a09863923228e2feadcfe19c70da1b0074"
 
 
-def _run(seed=1):
+def _run(seed=1, counters=None):
     """One reduced-scale Fig 4a FIFO point (NIC placement, 2 cores)."""
     sink = []
     result = run_sched_point(Placement.NIC, WaveOpts.full(), 2, FifoPolicy,
                              lambda rng: RocksDbModel.fifo_mix(rng),
                              rate_per_sec=120_000.0,
                              duration_ns=8_000_000.0, warmup_ns=1_000_000.0,
-                             seed=seed, request_sink=sink)
+                             seed=seed, request_sink=sink, counters=counters)
     return result, sink
 
 
@@ -71,11 +80,92 @@ def test_different_seed_different_trace():
     assert _event_hash(first_trace) != _event_hash(second_trace)
 
 
-def test_reduced_scale_trace_matches_golden_digest():
-    _, trace = _run(seed=1)
+def test_reduced_scale_trace_matches_golden_digest(monkeypatch):
+    # The partition assertion below must hold even when the CI
+    # engine matrix sets the ambient escape hatch.
+    monkeypatch.delenv("REPRO_NO_PARTITION", raising=False)
+    counters = {}
+    _, trace = _run(seed=1, counters=counters)
     assert len(trace) > 500  # the window actually carries load
+    # The default engine really is the partitioned one -- this digest
+    # check must not pass by silently falling back to the serial path.
+    assert counters["partition_domains"] == 3
+    assert counters["partition_switches"] > 0
     assert _event_hash(trace) == GOLDEN_DIGEST, (
         "the reduced-scale Fig 4a FIFO event trace drifted from the "
         "checked-in golden digest: some change altered simulated event "
         "ordering, RNG consultation order, or timing. If intentional, "
         "update GOLDEN_DIGEST in this file in the same commit.")
+
+
+# -- partitioned engine byte-identity ----------------------------------------
+
+def test_partition_off_matches_golden_digest(monkeypatch):
+    """The serial fallback produces the *same* golden trace: the digest
+    pins one behaviour for both engines, not one digest per engine."""
+    monkeypatch.setenv("REPRO_NO_PARTITION", "1")
+    counters = {}
+    _, trace = _run(seed=1, counters=counters)
+    assert counters["partition_domains"] == 0  # really ran serial
+    assert _event_hash(trace) == GOLDEN_DIGEST
+
+
+def test_fig4a_point_identical_partition_on_vs_off(monkeypatch):
+    """Full Fig 4a point equality: every aggregate in the result
+    dataclass, the raw event trace, and the kernel's invariant counters
+    must match between the partitioned and serial engines."""
+    monkeypatch.delenv("REPRO_NO_PARTITION", raising=False)
+    on_counters = {}
+    on_result, on_trace = _run(seed=3, counters=on_counters)
+    assert on_counters["partition_domains"] == 3
+    assert on_counters["partition_switches"] > 0
+    assert on_counters["partition_cross_sends"] > 0  # MSI-X really routed
+
+    monkeypatch.setenv("REPRO_NO_PARTITION", "1")
+    off_counters = {}
+    off_result, off_trace = _run(seed=3, counters=off_counters)
+    assert off_counters["partition_domains"] == 0
+
+    assert on_result == off_result
+    assert _event_hash(on_trace) == _event_hash(off_trace)
+    # Engine-contract invariants (admission counters are exempt).
+    assert on_counters["events_logical"] == off_counters["events_logical"]
+    assert (on_counters["events_dispatched"]
+            == off_counters["events_dispatched"])
+
+
+def test_fig5_point_identical_partition_on_vs_off(monkeypatch):
+    """The Fig 5 vCPU-scheduling point -- a different model stack (VM
+    host, busy loops, tick machinery) -- is byte-identical too."""
+    monkeypatch.delenv("REPRO_NO_PARTITION", raising=False)
+    on_counters = {}
+    on = run_vm_point(2, ticks=True, measure_ns=20_000_000,
+                      counters=on_counters)
+    assert on_counters["partition_domains"] == 3
+
+    monkeypatch.setenv("REPRO_NO_PARTITION", "1")
+    off_counters = {}
+    off = run_vm_point(2, ticks=True, measure_ns=20_000_000,
+                       counters=off_counters)
+    assert off_counters["partition_domains"] == 0
+
+    assert on == off
+    assert on_counters["events_logical"] == off_counters["events_logical"]
+    assert (on_counters["events_dispatched"]
+            == off_counters["events_dispatched"])
+
+
+def test_telemetry_digest_identical_partition_on_vs_off(monkeypatch):
+    """The observability layer sees the same history: stage spans,
+    counters, and histograms digest identically under both engines."""
+    digests = {}
+    for engine in ("partitioned", "serial"):
+        if engine == "serial":
+            monkeypatch.setenv("REPRO_NO_PARTITION", "1")
+        else:
+            monkeypatch.delenv("REPRO_NO_PARTITION", raising=False)
+        hub = Telemetry()
+        with hub:
+            _run(seed=1)
+        digests[engine] = metrics_digest(hub)
+    assert digests["partitioned"] == digests["serial"]

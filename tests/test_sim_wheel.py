@@ -4,118 +4,22 @@ The event-count optimizations are pure *mechanism* changes: the timer
 wheel re-homes far timers, PollTimer reuses cancelled poll timeouts,
 virtual ticks account for tick time analytically. None of them may
 change observable behaviour -- dispatch order, timestamps, values, or
-model outputs. These tests pin that substitution validity:
-
-1. property test: random schedule/cancel/run interleavings dispatch in
-   the identical order with the wheel on and off;
-2. PollTimer: every arm path (reuse, reschedule, abandon) fires at the
-   exact time a fresh ``env.timeout`` would;
-3. virtual ticks reproduce the legacy tick loop's observable effects
-   (tick_time, deep-sleep edges, turbo frequency) with zero events.
+model outputs. This module pins the wheel mechanics and PollTimer arm
+paths directly; the *cross-engine* property tests (random programs
+dispatching identically on every kernel engine, wheel and partitioned
+alike) live in ``tests/conformance/``, which subsumes the wheel-vs-heap
+property tests that originally lived here.
 """
 
-import os
-
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.hw import HwParams
 from repro.hw.cpu import HostCpu
 from repro.sim import Environment, PollTimer
-from repro.sim.wheel import (
-    COARSE_GRAIN,
-    FINE_GRAIN,
-    MIN_COARSE_DELAY,
-    MIN_WHEEL_DELAY,
-    TimerWheel,
-)
+from repro.sim.wheel import FINE_GRAIN, MIN_COARSE_DELAY, TimerWheel
 
 
-# -- wheel vs heap equivalence ---------------------------------------------
-
-#: Delays straddling every routing class: inline/staged (< 4096),
-#: fine wheel, coarse wheel, and exact threshold values.
-_DELAYS = [0.0, 1.0, 200.0, MIN_WHEEL_DELAY - 1, MIN_WHEEL_DELAY,
-           FINE_GRAIN * 3, 10_000.0, MIN_COARSE_DELAY - 1,
-           MIN_COARSE_DELAY, COARSE_GRAIN * 2.5, 500_000.0]
-
-_ops = st.lists(
-    st.tuples(st.sampled_from(["schedule", "cancel", "run"]),
-              st.sampled_from(_DELAYS),
-              st.integers(min_value=0, max_value=30)),
-    min_size=1, max_size=60)
-
-
-def _drive(use_wheel, ops):
-    """Replay one op sequence; return the dispatch log."""
-    env = Environment(use_wheel=use_wheel)
-    log = []
-    live = []
-
-    def driver():
-        def on_fire(ev, d):
-            log.append(("fire", env.now, d))
-            # Drop fired timers from the live list immediately: a fired
-            # Timeout goes back to the kernel freelist, and a retained
-            # reference may alias a *new* live timer handed out by a
-            # later env.timeout() -- cancelling through it would cancel
-            # that unrelated timer (and recycling timing legitimately
-            # differs between the wheel and heap kernels).
-            live.remove(ev)
-
-        for op, delay, pick in ops:
-            if op == "schedule":
-                timer = env.timeout(delay, value=len(log))
-                timer.callbacks.append(
-                    lambda ev, d=delay: on_fire(ev, d))
-                live.append(timer)
-            elif op == "cancel" and live:
-                timer = live.pop(pick % len(live))
-                del timer.callbacks[:]
-                timer.cancel()
-                log.append(("cancel", env.now))
-            else:
-                yield env.timeout(float(pick) * 977.0)
-                log.append(("ran", env.now))
-        # Drain everything still pending.
-        yield env.timeout(2_000_000.0)
-
-    env.process(driver())
-    env.run(until=3_000_000.0)
-    return log
-
-
-@settings(deadline=None, max_examples=60)
-@given(_ops)
-def test_wheel_and_heap_dispatch_identically(ops):
-    """Random schedule/cancel/run interleavings: the timer wheel must
-    produce the exact dispatch log of the plain-heap kernel."""
-    assert _drive(True, ops) == _drive(False, ops)
-
-
-@settings(deadline=None, max_examples=30)
-@given(_ops)
-def test_wheel_event_counters_conserved(ops):
-    """_seq (logical schedules) is queue-implementation invariant, and
-    dispatched callbacks match exactly."""
-    heap_env = Environment(use_wheel=False)
-    wheel_env = Environment(use_wheel=True)
-    for env in (heap_env, wheel_env):
-        def load(env=env):
-            for op, delay, pick in ops:
-                if op == "schedule":
-                    env.timeout(delay)
-                else:
-                    yield env.timeout(float(pick) * 977.0 + 1.0)
-        env.process(load())
-        env.run(until=3_000_000.0)
-    assert heap_env._seq == wheel_env._seq
-    assert heap_env.events_dispatched == wheel_env.events_dispatched
-    # (events_scheduled -- heap admissions -- legitimately differs: the
-    # wheel's promotions always push, while the heap-only kernel may
-    # inline-dispatch a staged entry without admitting it. At workload
-    # scale the wheel wins by a wide margin; see bench/perf.py.)
-
+# -- wheel mechanics --------------------------------------------------------
 
 def test_no_timer_wheel_env_var(monkeypatch):
     monkeypatch.setenv("REPRO_NO_TIMER_WHEEL", "1")
@@ -126,7 +30,9 @@ def test_no_timer_wheel_env_var(monkeypatch):
 
 
 def test_wheel_far_timer_cancelled_never_touches_heap():
-    env = Environment()
+    # use_wheel=True: must hold under REPRO_NO_TIMER_WHEEL too (the CI
+    # engine matrix runs this suite with the hatch set).
+    env = Environment(use_wheel=True)
     timer = env.timeout(400_000.0)  # coarse bucket
     before = env.events_scheduled
     del timer.callbacks[:]
@@ -153,7 +59,7 @@ def test_wheel_unit_ordering():
     assert wheel.next_start() == int(5_000.0 // FINE_GRAIN) * FINE_GRAIN
     env = Environment(use_wheel=False)
     while len(wheel):
-        wheel.promote_next(env)
+        wheel.promote_next(env, env._queue)
     popped = sorted(env._queue)
     assert [e[2] for e in popped] == [1, 3, 2]
 
