@@ -10,8 +10,14 @@ Commands::
                          profile)
     report <experiment>  run one experiment and print/write a Markdown
                          run report (top event kinds, stage latencies,
-                         fault timeline); ``report --history`` renders
+                         fault timeline, causal blame, partition
+                         observatory); ``report --history`` renders
                          the cross-run perf trajectory instead
+    analyze <experiment> run one experiment traced and emit the causal
+                         analysis: per-request critical paths, the
+                         per-layer blame table (Table-3-style
+                         decomposition from spans alone), and the
+                         partition observatory
     all [--fast]         regenerate EXPERIMENTS.md
     info                 print the calibration table
     chaos                one deterministic fault-injection run
@@ -151,6 +157,27 @@ def cmd_report(name: str, fast: bool, out: str = None,
     return 0
 
 
+def cmd_analyze(name: str, fast: bool, out: str = None, jobs: int = None,
+                percentile: float = 99.0) -> int:
+    module = _load_experiment(name)
+    if module is None:
+        return 2
+    from repro.obs import Telemetry
+    from repro.obs.causal import analyze_report
+    telemetry = Telemetry()
+    with telemetry:
+        module.run(**_run_kwargs(module, fast, jobs))
+    title = f"{name}: causal analysis"
+    text = analyze_report(telemetry, title=title, percentile=percentile)
+    if out:
+        with open(out, "w") as fh:
+            fh.write(text)
+        print(f"analysis -> {out}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def cmd_all(fast: bool, jobs: int = None) -> int:
     from repro.bench.generate import main as generate_main
     argv = ["--fast"] if fast else []
@@ -223,6 +250,21 @@ def main(argv=None) -> int:
     report_p.add_argument("--jobs", type=int, default=None, metavar="N",
                           help="fan independent points across N processes "
                                "(-1 = all cores)")
+    analyze_p = sub.add_parser(
+        "analyze", help="run one experiment traced and emit the causal "
+                        "blame / partition-observatory analysis")
+    analyze_p.add_argument("experiment")
+    analyze_p.add_argument("--fast", action="store_true")
+    analyze_p.add_argument("--out", metavar="PATH",
+                           help="write the analysis here instead of stdout")
+    analyze_p.add_argument("--jobs", type=int, default=None, metavar="N",
+                           help="fan independent points across N processes "
+                                "(-1 = all cores)")
+    analyze_p.add_argument("--percentile", type=float, default=99.0,
+                           metavar="P",
+                           help="tail percentile whose representative "
+                                "request's critical path is rendered "
+                                "(default 99)")
     all_p = sub.add_parser("all", help="regenerate EXPERIMENTS.md")
     all_p.add_argument("--fast", action="store_true")
     all_p.add_argument("--jobs", type=int, default=None, metavar="N",
@@ -269,6 +311,9 @@ def main(argv=None) -> int:
             return 2
         return cmd_report(args.experiment, args.fast, out=args.out,
                           jobs=args.jobs)
+    if args.command == "analyze":
+        return cmd_analyze(args.experiment, args.fast, out=args.out,
+                           jobs=args.jobs, percentile=args.percentile)
     if args.command == "all":
         return cmd_all(args.fast, jobs=args.jobs)
     if args.command == "perf":

@@ -58,7 +58,8 @@ class WaveHostApi:
 
     def set_txns_outcomes(self, txns: Iterable[Transaction]):
         """SET_TXNS_OUTCOMES(): report enforcement results to the agent."""
-        outcomes = [Message("wave.outcome", (t.txn_id, t.target, t.outcome))
+        outcomes = [Message("wave.outcome", (t.txn_id, t.target, t.outcome),
+                            ctx=t.ctx)
                     for t in txns]
         cost = self.channel.outcome_ring.produce(outcomes)
         yield self.env.timeout(cost)
@@ -112,7 +113,8 @@ class WaveNicApi:
         for txn in txns:
             cost += self.channel.slot(txn.target).stash(txn)
             if send_msix:
-                send_cost, delivery = self.channel.notify_host(via_ioctl=True)
+                send_cost, delivery = self.channel.notify_host(
+                    via_ioctl=True, ctx=txn.ctx, carrier=txn)
                 cost += send_cost
                 self.channel.dispatch_interrupt(txn.target, delivery)
         yield self.env.timeout(cost)

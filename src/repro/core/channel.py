@@ -115,15 +115,21 @@ class WaveChannel:
 
     # -- notification ------------------------------------------------------
 
-    def notify_host(self, via_ioctl: bool = True) -> Tuple[float, Event]:
+    def notify_host(self, via_ioctl: bool = True, ctx=None,
+                    carrier=None) -> Tuple[float, Event]:
         """Agent kicks a host core (MSI-X offloaded, IPI on host).
 
         Returns ``(sender_cost, delivery)``; the host core pays
-        :meth:`notify_receive_cost` when the handler runs.
+        :meth:`notify_receive_cost` when the handler runs. ``ctx``
+        threads the causal request context into the MSI-X span;
+        ``carrier`` (any object with a ``ctx`` attribute, typically the
+        transaction) is advanced past the MSI-X hop so the host-side
+        dispatch descends from the wire crossing, not its sibling.
         """
         params = self.machine.params
         if self.placement is Placement.NIC:
-            return self.machine.nic.raise_msix(via_ioctl)
+            return self.machine.nic.raise_msix(via_ioctl, ctx=ctx,
+                                               carrier=carrier)
         send = params.host_ipi_send
         propagation = params.host_ipi_e2e - send - params.host_ipi_receive
         delivery = self.env.timeout(send + max(0.0, propagation))

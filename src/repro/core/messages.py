@@ -35,6 +35,9 @@ class Message:
     payload: Any = None
     sent_at: float = 0.0
     seq: int = dataclasses.field(default_factory=lambda: next(_seq))
+    #: Causal request context (:class:`repro.obs.spans.SpanCtx`)
+    #: carried across the ring; None whenever tracing is off.
+    ctx: Any = None
 
     def __repr__(self) -> str:
         return f"<Message {self.kind} seq={self.seq}>"

@@ -44,6 +44,10 @@ class Transaction:
     outcome: TxnOutcome = TxnOutcome.PENDING
     committed_at: Optional[float] = None
     txn_id: int = dataclasses.field(default_factory=lambda: next(_txn_ids))
+    #: Causal request context (:class:`repro.obs.spans.SpanCtx`): the
+    #: agent's open commit span, read by the host-side enforcement
+    #: spans. None whenever tracing is off.
+    ctx: Any = None
 
     def __repr__(self) -> str:
         return (f"<Txn {self.txn_id} -> {self.target} "

@@ -125,6 +125,9 @@ class GhostAgent(WaveAgent):
         if kind == TASK_NEW:
             if self.task_new_extra_ns:
                 yield self.env.timeout(self.task_new_extra_ns)
+            if message.ctx is not None:
+                # Continue the request chain from the ring-consume hop.
+                message.payload.ctx = message.ctx
             self.policy.enqueue(message.payload)
             touched.update(core for core, state in self._state.items()
                            if state is _CoreState.WAITING)
@@ -143,6 +146,8 @@ class GhostAgent(WaveAgent):
             touched.add(core)
         elif kind == TASK_PREEMPT:
             task, core, remaining = message.payload
+            if message.ctx is not None:
+                task.ctx = message.ctx
             self.policy.enqueue(task)
             touched.update(c for c, state in self._state.items()
                            if state is _CoreState.WAITING)
@@ -178,8 +183,15 @@ class GhostAgent(WaveAgent):
             # carries an MSI-X.
             parked = (self.channel.slot(core).host_parked
                       or not self.prestage_enabled)
-            span = (tel.begin("agent.commit", self._track)
+            # A ghost txn commit is a designated causal root: it mints
+            # a request context unless the task already carries one.
+            span = (tel.begin("agent.commit", self._track, ctx=task.ctx,
+                              root=True)
                     if tel is not None else None)
+            if span is not None:
+                # Stash + MSI-X run synchronously inside txns_commit:
+                # the txn must carry the chain before the yield from.
+                txn.ctx = task.ctx = tel.ctx_after(span)
             yield self.env.timeout(
                 self.channel.agent_word_cost(COMMIT_SYNC_WORDS))
             yield from self.api.txns_commit([txn], send_msix=parked)
@@ -205,8 +217,11 @@ class GhostAgent(WaveAgent):
             if task is None:
                 break
             txn = self.api.txn_create(core, SchedDecision(task))
-            span = (tel.begin("agent.commit", self._track)
+            span = (tel.begin("agent.commit", self._track, ctx=task.ctx,
+                              root=True)
                     if tel is not None else None)
+            if span is not None:
+                txn.ctx = task.ctx = tel.ctx_after(span)
             yield self.env.timeout(
                 self.channel.agent_word_cost(COMMIT_SYNC_WORDS))
             yield from self.api.txns_commit([txn], send_msix=False)
@@ -225,8 +240,11 @@ class GhostAgent(WaveAgent):
             self._recover_overwritten(core)
             txn = self.api.txn_create(core, SchedDecision(next_task,
                                                           preempt=True))
-            span = (tel.begin("agent.commit", self._track)
+            span = (tel.begin("agent.commit", self._track,
+                              ctx=next_task.ctx, root=True)
                     if tel is not None else None)
+            if span is not None:
+                txn.ctx = next_task.ctx = tel.ctx_after(span)
             yield self.env.timeout(
                 self.channel.agent_word_cost(COMMIT_SYNC_WORDS))
             yield from self.api.txns_commit([txn], send_msix=True)

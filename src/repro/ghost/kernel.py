@@ -87,11 +87,18 @@ class GhostKernel:
         if self.tracer:
             self.tracer.record("task_submit", tid=task.tid)
         tel = getattr(self.env, "telemetry", None)
+        message = Message(TASK_NEW, task)
         if tel is not None:
-            tel.span("sched.submit", "kernel", tid=task.tid)
+            # Continue the request's causal chain when the payload
+            # carries one (RPC arrival); otherwise the submit is the
+            # request root (bench-generated load).
+            span = tel.span("sched.submit", "kernel",
+                            ctx=getattr(task.payload, "ctx", None),
+                            root=True, tid=task.tid)
+            task.ctx = message.ctx = tel.ctx_after(span)
             tel.count("sched_tasks", event="submit")
         yield self.env.timeout(self.costs.kernel_entry)
-        yield from self.host_api.send_messages([Message(TASK_NEW, task)])
+        yield from self.host_api.send_messages([message])
 
     def runnable_snapshot(self) -> List[GhostTask]:
         """Every live runnable task -- what a restarted agent (or the
@@ -191,7 +198,8 @@ class GhostKernel:
             # ---- enforce atomically ----
             dispatch_span = None
             if tel is not None:
-                dispatch_span = tel.begin("core.dispatch", track)
+                dispatch_span = tel.begin("core.dispatch", track,
+                                          ctx=getattr(txn, "ctx", None))
             if offloaded:
                 yield env.timeout(costs.wave_txn_bookkeeping)
             task = txn.payload.task
@@ -208,6 +216,7 @@ class GhostKernel:
             if tel is not None:
                 tel.end(dispatch_span, tid=task.tid)
                 tel.count("sched_txns", outcome="committed")
+                task.ctx = tel.ctx_after(dispatch_span) or task.ctx
 
             # ---- run ----
             task.state = TaskState.RUNNING
@@ -219,13 +228,16 @@ class GhostKernel:
                     tel.span("sched.queue", track,
                              start_ns=task.created_at,
                              dur_ns=env.now - task.created_at,
-                             tid=task.tid)
+                             ctx=task.ctx, tid=task.tid)
             if self.record_switch_overhead and core in self._prev_end:
                 self.switch_overhead.record(env.now - self._prev_end[core])
             self._phase[core] = _RUNNING
             self._run_procs[core] = env.active_process
-            run_span = (tel.begin("task.run", track, tid=task.tid)
+            run_span = (tel.begin("task.run", track, ctx=task.ctx,
+                                  tid=task.tid)
                         if tel is not None else None)
+            if run_span is not None:
+                task.ctx = tel.ctx_after(run_span)
             start = env.now
             try:
                 yield env.timeout(task.remaining_ns)
@@ -250,7 +262,8 @@ class GhostKernel:
                     yield env.timeout(costs.wave_preempt_extra)
                 yield env.timeout(costs.kernel_exit)
                 yield from self.host_api.send_messages(
-                    [Message(TASK_PREEMPT, (task, core, task.remaining_ns))])
+                    [Message(TASK_PREEMPT, (task, core, task.remaining_ns),
+                             ctx=task.ctx)])
                 self._prev_end[core] = env.now
                 just_preempted = True
                 continue
@@ -269,6 +282,10 @@ class GhostKernel:
                 tel.observe("sched_task_latency_ns", task.latency_ns)
             if hasattr(task.payload, "completed_ns"):
                 task.payload.completed_ns = env.now
+            if tel is not None and hasattr(task.payload, "ctx"):
+                # Hand the chain back to the request object so the RPC
+                # response span continues it.
+                task.payload.ctx = task.ctx
             self._prev_end[core] = env.now
             self.completed += 1
             self.latency.record(task.latency_ns)
@@ -279,4 +296,4 @@ class GhostKernel:
                 self.on_task_complete(task)
             yield env.timeout(costs.kernel_exit)
             yield from self.host_api.send_messages(
-                [Message(TASK_DEAD, (task, core))])
+                [Message(TASK_DEAD, (task, core), ctx=task.ctx)])

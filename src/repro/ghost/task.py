@@ -43,6 +43,11 @@ class GhostTask:
     completed_at: Optional[float] = None
     preemptions: int = 0
     tid: int = dataclasses.field(default_factory=lambda: next(_tids))
+    #: Causal request context (:class:`repro.obs.spans.SpanCtx`); set
+    #: only by telemetry-guarded instrumentation, always None when
+    #: tracing is off. Excluded from repr/compare so observability
+    #: never changes model behaviour.
+    ctx: Any = dataclasses.field(default=None, repr=False, compare=False)
 
     def __post_init__(self):
         if self.remaining_ns is None:

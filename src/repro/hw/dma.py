@@ -75,17 +75,22 @@ class DmaEngine:
         return penalty
 
     def _observe(self, nbytes: int, duration: float,
-                 batched: bool = False) -> None:
-        """Record one transfer's span + metrics (no-op when disabled)."""
+                 batched: bool = False, ctx=None) -> None:
+        """Record one transfer's span + metrics (no-op when disabled).
+
+        A DMA op is a designated causal root: without an inbound ``ctx``
+        the span mints a fresh request context of its own.
+        """
         tel = getattr(self.env, "telemetry", None)
         if tel is None:
             return
-        tel.span("dma.transfer", "dma", dur_ns=duration, nbytes=nbytes)
+        tel.span("dma.transfer", "dma", dur_ns=duration, ctx=ctx,
+                 root=True, nbytes=nbytes)
         tel.count("dma_transfers", batched=batched)
         tel.count("dma_bytes", by=nbytes)
         tel.observe("dma_transfer_ns", duration)
 
-    def launch(self, nbytes: int) -> "Tuple[float, Event]":
+    def launch(self, nbytes: int, ctx=None) -> "Tuple[float, Event]":
         """Start one transfer; returns ``(duration, completion)``.
 
         ``duration`` includes any injected retry penalty, and
@@ -97,10 +102,10 @@ class DmaEngine:
         self.transfers += 1
         self.bytes_moved += nbytes
         duration = self._retry_penalty() + self.transfer_duration(nbytes)
-        self._observe(nbytes, duration)
+        self._observe(nbytes, duration, ctx=ctx)
         return duration, self.env.timeout(duration)
 
-    def transfer(self, nbytes: int) -> Event:
+    def transfer(self, nbytes: int, ctx=None) -> Event:
         """Start one transfer; the returned event fires at completion.
 
         The *caller* separately accounts :meth:`setup_cost` as CPU time;
@@ -111,10 +116,10 @@ class DmaEngine:
         self.transfers += 1
         self.bytes_moved += nbytes
         duration = self._retry_penalty() + self.transfer_duration(nbytes)
-        self._observe(nbytes, duration)
+        self._observe(nbytes, duration, ctx=ctx)
         return self.env.timeout(duration)
 
-    def transfer_batched(self, sizes: List[int]) -> Event:
+    def transfer_batched(self, sizes: List[int], ctx=None) -> Event:
         """Move several buffers under one descriptor batch.
 
         One base latency for the whole batch -- the batching optimization
@@ -124,5 +129,5 @@ class DmaEngine:
         self.transfers += 1
         self.bytes_moved += total
         duration = self._retry_penalty() + self.transfer_duration(total)
-        self._observe(total, duration, batched=True)
+        self._observe(total, duration, batched=True, ctx=ctx)
         return self.env.timeout(duration)

@@ -45,7 +45,8 @@ class SmartNic:
         freq_ratio = self.params.nic_reference_ghz / self.ghz
         return host_equivalent_ns * self.params.nic_compute_handicap * freq_ratio
 
-    def raise_msix(self, via_ioctl: bool = True) -> Tuple[float, Event]:
+    def raise_msix(self, via_ioctl: bool = True, ctx=None,
+                   carrier=None) -> Tuple[float, Event]:
         """Send an MSI-X to a host core.
 
         Returns ``(sender_cost, delivery)``: the agent burns
@@ -64,12 +65,17 @@ class SmartNic:
         if faults is not None and faults.on_msix_send():
             self.msix_lost += 1
             if tel is not None:
-                tel.span("msix.deliver", "pcie", dur_ns=send, lost=True)
+                span = tel.span("msix.deliver", "pcie", dur_ns=send,
+                                ctx=ctx, lost=True)
+                if carrier is not None:
+                    carrier.ctx = tel.ctx_after(span)
                 tel.count("msix_delivered", outcome="lost")
             return send, Event(self.env)  # pending forever: lost on the wire
         wire = send + self.interconnect.msix_propagation()
         if tel is not None:
-            tel.span("msix.deliver", "pcie", dur_ns=wire)
+            span = tel.span("msix.deliver", "pcie", dur_ns=wire, ctx=ctx)
+            if carrier is not None:
+                carrier.ctx = tel.ctx_after(span)
             tel.count("msix_delivered", outcome="ok")
         # The delivery crosses the NIC -> host boundary: route it through
         # the lookahead-checked channel so the partitioned kernel can

@@ -193,19 +193,23 @@ class MemoryAgent:
         Spans describe costs already charged above; nothing here adds
         simulated time."""
         n_decisions = len(iteration.to_fast) + len(iteration.to_slow)
-        tel.span("sol.iterate", "mem-agent", start_ns=started,
-                 dur_ns=total + madvise_ns,
-                 batches=iteration.batches_scanned,
-                 epoch=iteration.epoch)
+        # Each SOL iteration is its own causal root; its phase spans
+        # descend from the iteration span.
+        root = tel.span("sol.iterate", "mem-agent", start_ns=started,
+                        dur_ns=total + madvise_ns, root=True,
+                        batches=iteration.batches_scanned,
+                        epoch=iteration.epoch)
+        sctx = tel.ctx_after(root)
         if dma_in:
             tel.span("sol.dma_in", "mem-agent", start_ns=started,
-                     dur_ns=dma_in)
+                     dur_ns=dma_in, ctx=sctx)
         tel.span("sol.classify", "mem-agent", start_ns=started + dma_in,
-                 dur_ns=max(0.0, total - dma_in - dma_out))
+                 dur_ns=max(0.0, total - dma_in - dma_out), ctx=sctx)
         if iteration.epoch:
             tel.span("sol.migrate", "mem-agent",
                      start_ns=started + total - dma_out,
-                     dur_ns=dma_out + madvise_ns, decisions=n_decisions)
+                     dur_ns=dma_out + madvise_ns, ctx=sctx,
+                     decisions=n_decisions)
             tel.count("sol_migrations", by=n_decisions)
         tel.count("sol_iterations", epoch=iteration.epoch)
         tel.count("sol_batches_scanned", by=iteration.batches_scanned)

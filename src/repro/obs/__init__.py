@@ -27,8 +27,16 @@ from repro.obs.metrics import (
     TimeWeightedMetric,
     render_key,
 )
-from repro.obs.spans import RunTelemetry, Span, SpanLog, Telemetry
+from repro.obs.spans import RunTelemetry, Span, SpanCtx, SpanLog, Telemetry
 from repro.obs.shard import RunShard, TelemetryShard, absorb_into, shard_from
+from repro.obs.causal import (
+    CausalGraph,
+    RequestTrace,
+    analyze_report,
+    blame_table,
+    layer_of,
+    request_traces,
+)
 from repro.obs.export import (
     chrome_trace_events,
     metrics_digest,
@@ -52,7 +60,14 @@ __all__ = [
     "RunTelemetry",
     "RunShard",
     "Span",
+    "SpanCtx",
     "SpanLog",
+    "CausalGraph",
+    "RequestTrace",
+    "analyze_report",
+    "blame_table",
+    "layer_of",
+    "request_traces",
     "Telemetry",
     "TelemetryShard",
     "absorb_into",

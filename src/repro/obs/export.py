@@ -9,7 +9,14 @@ The Chrome trace format (the JSON flavour Perfetto's legacy importer and
   *thread* (``tid``) with a ``thread_name`` metadata record;
 - every completed span becomes one ``"ph": "X"`` complete event with
   microsecond ``ts``/``dur`` (the format's convention; simulated ns
-  divide by 1000).
+  divide by 1000);
+- spans still open at export time become ``"ph": "B"`` begin events (a
+  crashed agent's half-finished work renders as an unterminated slice
+  instead of a zero-width sliver);
+- causal edges that hop between tracks become Perfetto flow events
+  (``"ph": "s"`` at the source span's end, ``"ph": "f"`` with
+  ``"bp": "e"`` at the destination's begin), so the UI draws the
+  request's arrows across cores, rings, and the PCIe track.
 
 The metrics dump is a canonical, byte-stable text rendering of every
 run's registry; its digest is the same-seed determinism check.
@@ -41,30 +48,74 @@ def chrome_trace_events(telemetry: Telemetry) -> List[dict]:
                 "ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
                 "args": {"name": track},
             })
+        by_id: Dict[int, object] = {}
         for span in run.spans:
+            if span.span_id is not None:
+                by_id[span.span_id] = span
             event = {
-                "ph": "X",
+                "ph": "X" if span.end_ns is not None else "B",
                 "pid": pid,
                 "tid": tids[span.track],
                 "name": span.stage,
                 "cat": span.stage.split(".", 1)[0],
                 "ts": span.begin_ns / 1000.0,
-                "dur": span.duration_ns / 1000.0,
             }
+            if span.end_ns is not None:
+                event["dur"] = span.duration_ns / 1000.0
             if span.args:
                 event["args"] = {k: str(v) for k, v in
                                  sorted(span.args.items())}
             events.append(event)
+        events.extend(_flow_events(run, pid, tids, by_id))
     return events
 
 
+def _flow_events(run, pid: int, tids: Dict[str, int],
+                 by_id: Dict[int, object]) -> List[dict]:
+    """Flow ``s``/``f`` pairs for cross-track causal edges of one run.
+
+    Edges whose source span was evicted from the ring are silently
+    skipped (the analyzer separately reports the truncation); same-track
+    edges are skipped too -- nesting already shows them.
+    """
+    flows: List[dict] = []
+    next_flow = 0
+    for span in run.spans:
+        if span.span_id is None:
+            continue
+        preds = []
+        if span.parent_id is not None:
+            preds.append(span.parent_id)
+        if span.links:
+            preds.extend(span.links)
+        for pred_id in preds:
+            src = by_id.get(pred_id)
+            if src is None or src.track == span.track:
+                continue
+            next_flow += 1
+            flow_id = pid * 1_000_000 + next_flow
+            src_end = src.end_ns if src.end_ns is not None else src.begin_ns
+            flows.append({
+                "ph": "s", "pid": pid, "tid": tids[src.track],
+                "name": "causal", "cat": "causal", "id": flow_id,
+                "ts": src_end / 1000.0,
+            })
+            flows.append({
+                "ph": "f", "bp": "e", "pid": pid, "tid": tids[span.track],
+                "name": "causal", "cat": "causal", "id": flow_id,
+                "ts": span.begin_ns / 1000.0,
+            })
+    return flows
+
+
 def write_chrome_trace(telemetry: Telemetry, path: str) -> int:
-    """Write the trace JSON; returns the number of span events."""
+    """Write the trace JSON; returns the number of span events
+    (completed ``X`` plus still-open ``B``)."""
     events = chrome_trace_events(telemetry)
     payload = {"traceEvents": events, "displayTimeUnit": "ns"}
     with open(path, "w") as handle:
         json.dump(payload, handle, separators=(",", ":"))
-    return sum(1 for e in events if e.get("ph") == "X")
+    return sum(1 for e in events if e.get("ph") in ("X", "B"))
 
 
 def metrics_dump(telemetry: Telemetry) -> str:

@@ -113,4 +113,14 @@ def run_report(telemetry: Telemetry, title: str = "run report",
         out.extend(faults)
         out.append("")
 
+    # Causal/observatory sections (lazy import: causal renders with
+    # md_table from this module).
+    from repro.obs.causal import causal_section, partition_section
+    causal = causal_section(telemetry)
+    if causal:
+        out.extend(causal)
+    observatory = partition_section(telemetry)
+    if observatory:
+        out.extend(observatory)
+
     return "\n".join(out)

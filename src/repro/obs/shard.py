@@ -47,6 +47,10 @@ class RunShard:
     default_label: bool
     metrics: MetricsRegistry
     spans: SpanLog
+    #: The run's :class:`~repro.sim.partition.PartitionObservatory`
+    #: (plain counters, picklable), or None when the run used the
+    #: sequential engine or telemetry was off.
+    partition: Optional[object] = None
 
 
 @dataclasses.dataclass
@@ -65,7 +69,8 @@ class TelemetryShard:
 def shard_from(hub: Telemetry) -> TelemetryShard:
     """Detach ``hub``'s collected telemetry into a picklable shard."""
     runs = [RunShard(label=run.label, default_label=run.default_label,
-                     metrics=run.metrics, spans=run.spans)
+                     metrics=run.metrics, spans=run.spans,
+                     partition=getattr(run, "partition", None))
             for run in hub.runs]
     events = 0
     for run in hub.runs:
@@ -88,7 +93,8 @@ def absorb_into(hub: Telemetry, shard: TelemetryShard,
         run = RunTelemetry.restored(
             hub, run_index=len(hub.runs),
             label=rs.label, default_label=rs.default_label,
-            metrics=rs.metrics, spans=rs.spans, worker=worker)
+            metrics=rs.metrics, spans=rs.spans, worker=worker,
+            partition=getattr(rs, "partition", None))
         if rs.default_label:
             run.label = f"run{run.run_index}"
         hub.runs.append(run)

@@ -22,23 +22,64 @@ pay -- so an instrumented run is numerically identical to a bare one.
 from __future__ import annotations
 
 import collections
-from typing import Any, Deque, Dict, List, Optional
+from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.metrics import MetricsRegistry
 
 
-class Span:
-    """One named stage of work on one track."""
+class SpanCtx:
+    """A causal request-context token.
 
-    __slots__ = ("stage", "track", "begin_ns", "end_ns", "args")
+    Minted at request roots (txn commit, RPC arrival, DMA op, fault
+    fire) and threaded through the model objects that carry the work
+    (tasks, messages, transactions, requests). ``req`` is the per-run
+    request id; ``span`` is the :attr:`Span.span_id` of the causally
+    preceding span -- the next span recorded with this ctx becomes its
+    child. Tokens are tiny, immutable in spirit, and picklable, so they
+    survive the shard round trip unchanged.
+    """
+
+    __slots__ = ("req", "span")
+
+    def __init__(self, req: Optional[int], span: Optional[int]):
+        self.req = req
+        self.span = span
+
+    def __repr__(self) -> str:
+        return f"<SpanCtx req={self.req} span={self.span}>"
+
+
+class Span:
+    """One named stage of work on one track.
+
+    Beyond the interval itself, a span carries its causal identity:
+    ``span_id`` (per-run, monotonic from 1 in record order),
+    ``parent_id`` (the span whose :class:`SpanCtx` it was recorded
+    under), ``links`` (extra predecessor span ids -- e.g. a ring batch
+    span linking every producer's span), and ``req`` (the request id
+    grouping one end-to-end causal graph). All are per-run and reset
+    with the environment, so sharded ``--jobs`` sweeps reproduce the
+    exact ids of a serial run.
+    """
+
+    __slots__ = ("stage", "track", "begin_ns", "end_ns", "args",
+                 "span_id", "parent_id", "links", "req")
 
     def __init__(self, stage: str, track: str, begin_ns: float,
-                 end_ns: Optional[float], args: Optional[Dict[str, Any]]):
+                 end_ns: Optional[float], args: Optional[Dict[str, Any]],
+                 span_id: Optional[int] = None,
+                 parent_id: Optional[int] = None,
+                 links: Optional[Tuple[int, ...]] = None,
+                 req: Optional[int] = None):
         self.stage = stage
         self.track = track
         self.begin_ns = begin_ns
         self.end_ns = end_ns
         self.args = args
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.links = links
+        self.req = req
 
     @property
     def duration_ns(self) -> float:
@@ -119,11 +160,23 @@ class RunTelemetry:
         #: recorded in this process). Never exported: ``--jobs N`` must
         #: not change any telemetry artifact.
         self.worker = None
+        #: Per-run causal id counters: span ids and request ids both
+        #: restart at 1 with every environment, so sharded sweeps mint
+        #: the exact ids a serial sweep would.
+        self._next_span = 0
+        self._next_req = 0
+        #: :class:`repro.sim.partition.PartitionObservatory` when the
+        #: run executed under the partitioned engine with telemetry on;
+        #: carried through shards, never folded into the metrics
+        #: registry (the telemetry digest must not depend on which
+        #: engine ran).
+        self.partition = None
 
     @classmethod
     def restored(cls, hub: "Telemetry", run_index: int, label: str,
                  default_label: bool, metrics: MetricsRegistry,
-                 spans: SpanLog, worker=None) -> "RunTelemetry":
+                 spans: SpanLog, worker=None,
+                 partition=None) -> "RunTelemetry":
         """Rebuild a run from shard state (no environment: read-only)."""
         run = cls.__new__(cls)
         run.env = None
@@ -135,34 +188,73 @@ class RunTelemetry:
         run.spans = spans
         run._stage_filter = hub.stage_filter
         run.worker = worker
+        run._next_span = 0
+        run._next_req = 0
+        run.partition = partition
         return run
 
     def _wanted(self, stage: str) -> bool:
         return self._stage_filter is None or stage in self._stage_filter
 
+    def _identity(self, ctx: Optional[SpanCtx], root: bool):
+        """Allot ``(span_id, parent_id, req)`` for a new span."""
+        self._next_span += 1
+        if ctx is not None:
+            return self._next_span, ctx.span, ctx.req
+        if root:
+            self._next_req += 1
+            return self._next_span, None, self._next_req
+        return self._next_span, None, None
+
     def span(self, stage: str, track: str, dur_ns: float = 0.0,
-             start_ns: Optional[float] = None, **args) -> Optional[Span]:
+             start_ns: Optional[float] = None,
+             ctx: Optional[SpanCtx] = None, root: bool = False,
+             links: Optional[Iterable[int]] = None,
+             **args) -> Optional[Span]:
         """Record a completed span.
 
         ``start_ns`` defaults to now; the span covers
         ``[start_ns, start_ns + dur_ns]``. Instantaneous events use the
         default ``dur_ns=0``.
+
+        ``ctx`` threads an existing request context (the span becomes
+        the ctx span's child in that request's causal graph); ``root``
+        mints a fresh request id when no ctx is given (designated
+        causal roots: txn commit, RPC arrival, DMA op, fault fire);
+        ``links`` adds extra predecessor span ids (batch fan-in).
         """
         if not self._wanted(stage):
             return None
         begin = self.env.now if start_ns is None else start_ns
-        span = Span(stage, track, begin, begin + dur_ns, args or None)
+        sid, parent, req = self._identity(ctx, root)
+        span = Span(stage, track, begin, begin + dur_ns, args or None,
+                    sid, parent, tuple(links) if links else None, req)
         self.spans.append(span)
         return span
 
-    def begin(self, stage: str, track: str, **args) -> Optional[Span]:
+    def begin(self, stage: str, track: str,
+              ctx: Optional[SpanCtx] = None, root: bool = False,
+              links: Optional[Iterable[int]] = None,
+              **args) -> Optional[Span]:
         """Open a span at the current simulated time; close it with
         :meth:`end`. Returns None when the stage is filtered out."""
         if not self._wanted(stage):
             return None
-        span = Span(stage, track, self.env.now, None, args or None)
+        sid, parent, req = self._identity(ctx, root)
+        span = Span(stage, track, self.env.now, None, args or None,
+                    sid, parent, tuple(links) if links else None, req)
         self.spans.append(span)
         return span
+
+    def ctx_after(self, span: Optional[Span]) -> Optional[SpanCtx]:
+        """The context downstream work should carry after ``span``.
+
+        None in, None out (filtered stages break the chain cleanly), so
+        instrumentation sites can thread contexts without re-checking.
+        """
+        if span is None:
+            return None
+        return SpanCtx(span.req, span.span_id)
 
     def end(self, span: Optional[Span], **args) -> None:
         """Close an open span at the current simulated time."""

@@ -15,6 +15,7 @@ from typing import Any, Deque, List, Optional, Tuple
 
 from repro.hw.dma import DmaEngine
 from repro.hw.paths import MemPath
+from repro.queues.ring import batch_links, relink_batch
 from repro.sim import Environment, Event
 
 
@@ -56,6 +57,16 @@ class DmaQueue:
         """
         if not items:
             return 0.0, None
+        tel = getattr(self.env, "telemetry", None)
+        span = pctx = None
+        if tel is not None:
+            # Record the hop before launching so the engine's transfer
+            # span can descend from it; the duration is patched below
+            # once the (possibly synchronous) cost is final.
+            span = tel.span("dmaq.produce", f"ring:{self.name}", dur_ns=0.0,
+                            links=batch_links(items), n=len(items),
+                            sync=self.sync)
+            pctx = tel.ctx_after(span)
         cost = 0.0
         for _ in items:
             cost += self.producer_path.write_words(0, self.entry_words + 1)
@@ -65,7 +76,7 @@ class DmaQueue:
         # One launch per descriptor batch: the duration (which includes
         # any injected timeout/retry penalty) and the completion event
         # come from the same draw, so arrival and completion agree.
-        duration, completion = self.dma.launch(nbytes)
+        duration, completion = self.dma.launch(nbytes, ctx=pctx)
         if self.sync:
             cost += duration
         arrival = self.env.now + cost + (0.0 if self.sync else duration)
@@ -73,10 +84,9 @@ class DmaQueue:
             self._entries.append((item, arrival))
         self.produced += len(items)
         self._announce(arrival)
-        tel = getattr(self.env, "telemetry", None)
         if tel is not None:
-            tel.span("dmaq.produce", f"ring:{self.name}", dur_ns=cost,
-                     n=len(items), sync=self.sync)
+            span.end_ns = span.begin_ns + cost
+            relink_batch(tel, span, items)
             tel.count("ring_ops", by=len(items), ring=self.name, op="push")
         if self.sync:
             return cost, None
@@ -117,8 +127,10 @@ class DmaQueue:
         if items:
             tel = getattr(self.env, "telemetry", None)
             if tel is not None:
-                tel.span("dmaq.consume", f"ring:{self.name}", dur_ns=cost,
-                         n=len(items))
+                span = tel.span("dmaq.consume", f"ring:{self.name}",
+                                dur_ns=cost, links=batch_links(items),
+                                n=len(items))
+                relink_batch(tel, span, items)
                 tel.count("ring_ops", by=len(items), ring=self.name,
                           op="pop")
         return items, cost

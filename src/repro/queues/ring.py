@@ -18,7 +18,34 @@ from collections import deque
 from typing import Any, Deque, List, Optional, Tuple
 
 from repro.hw.paths import MemPath
+from repro.obs.spans import SpanCtx
 from repro.sim import Environment, Event
+
+
+def relink_batch(tel, span, items) -> None:
+    """Re-point each item's request context through a batch span.
+
+    A ring/queue hop serves many requests at once: the batch span links
+    back to every item's prior span (fan-in), and each item's context is
+    advanced to the batch span while keeping its own request id, so the
+    per-request chains stay separable on the far side (fan-out).
+    """
+    if span is None:
+        return
+    for item in items:
+        ctx = getattr(item, "ctx", None)
+        if ctx is not None:
+            item.ctx = SpanCtx(ctx.req, span.span_id)
+
+
+def batch_links(items):
+    """The span ids feeding a batch hop (for the span's ``links``)."""
+    links = []
+    for item in items:
+        ctx = getattr(item, "ctx", None)
+        if ctx is not None and ctx.span is not None:
+            links.append(ctx.span)
+    return links or None
 
 
 class FloemRing:
@@ -83,6 +110,7 @@ class FloemRing:
             self.fault_duplicated += n_duplicated
         cost = 0.0
         accepted = 0
+        accepted_items: List[Any] = []
         for item in items:
             if self.full:
                 self.dropped += 1
@@ -90,6 +118,7 @@ class FloemRing:
             addr = self._alloc_slot()
             cost += producer.write_words(addr, self.entry_words + 1)
             self._entries.append((item, None))  # visibility patched below
+            accepted_items.append(item)
             accepted += 1
         cost += producer.flush_writes()
         if faults is not None:
@@ -108,8 +137,9 @@ class FloemRing:
             self._announce(visible_at)
         tel = getattr(self.env, "telemetry", None)
         if tel is not None:
-            tel.span("ring.produce", f"ring:{self.name}", dur_ns=cost,
-                     n=accepted)
+            span = tel.span("ring.produce", f"ring:{self.name}", dur_ns=cost,
+                            links=batch_links(accepted_items), n=accepted)
+            relink_batch(tel, span, accepted_items)
             tel.count("ring_ops", by=accepted, ring=self.name, op="push")
             tel.metrics.timeweighted(
                 "ring_depth", ring=self.name).set(len(self._entries))
@@ -186,8 +216,10 @@ class FloemRing:
         if items:
             tel = getattr(self.env, "telemetry", None)
             if tel is not None:
-                tel.span("ring.consume", f"ring:{self.name}", dur_ns=cost,
-                         n=len(items))
+                span = tel.span("ring.consume", f"ring:{self.name}",
+                                dur_ns=cost, links=batch_links(items),
+                                n=len(items))
+                relink_batch(tel, span, items)
                 tel.count("ring_ops", by=len(items), ring=self.name,
                           op="pop")
                 tel.metrics.timeweighted(

@@ -84,8 +84,16 @@ class RpcStack:
                 self.busy_ns += self.request_proc_ns
                 self.requests_processed += 1
                 if tel is not None:
-                    tel.span("rpc.request", track,
-                             dur_ns=self.request_proc_ns)
+                    # An RPC arrival is a designated causal root: it
+                    # mints the request context the rest of the chain
+                    # (submit -> ring -> agent -> dispatch -> run ->
+                    # response) inherits.
+                    span = tel.span("rpc.request", track,
+                                    dur_ns=self.request_proc_ns,
+                                    ctx=getattr(request, "ctx", None),
+                                    root=True,
+                                    where=self.placement.value)
+                    request.ctx = tel.ctx_after(span)
                     tel.count("rpc_msgs", kind="request")
                 yield from self.submit(request)
             else:
@@ -95,8 +103,11 @@ class RpcStack:
                 # Response hits the wire: end-to-end latency stops here.
                 request.completed_ns = env.now
                 if tel is not None:
-                    tel.span("rpc.response", track,
-                             dur_ns=self.response_proc_ns)
+                    span = tel.span("rpc.response", track,
+                                    dur_ns=self.response_proc_ns,
+                                    ctx=getattr(request, "ctx", None),
+                                    where=self.placement.value)
+                    request.ctx = tel.ctx_after(span)
                     tel.count("rpc_msgs", kind="response")
 
     def utilization(self, window_ns: float) -> float:

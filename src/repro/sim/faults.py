@@ -251,7 +251,10 @@ class FaultInjector:
         self.log.append(FaultRecord(self.env.now, kind, detail))
         tel = getattr(self.env, "telemetry", None)
         if tel is not None:
-            tel.span("fault.fire", "faults", kind=kind, detail=detail)
+            # A fault event is a designated causal root (it has no
+            # inbound request; anything it perturbs traces back to it).
+            tel.span("fault.fire", "faults", root=True, kind=kind,
+                     detail=detail)
             tel.count("fault_fires", kind=kind)
 
     def _each(self, kind: str, name: str):

@@ -137,6 +137,113 @@ class PartitionPlan:
         return True
 
 
+class PartitionObservatory:
+    """Per-run bookkeeping of how the partitioned engine behaved.
+
+    Created by :class:`PartitionEngine` only when the environment has
+    telemetry attached, published as ``env.telemetry.partition`` (and
+    carried through :class:`~repro.obs.shard.RunShard`), and rendered
+    by :func:`repro.obs.causal.partition_section`. It is deliberately
+    **not** part of the metrics registry: the telemetry digest must be
+    identical whether a run executed partitioned or serial, and these
+    numbers only exist under the partitioned engine.
+
+    All bookkeeping is per *window* (one ``_run_inner`` stretch) or per
+    cross-domain send -- never per event -- so an instrumented
+    partitioned run stays within the perf gate.
+
+    What it answers, for the true-parallel follow-up the ROADMAP names:
+
+    - ``busy_ns``/``events``/``windows``: time-weighted per-domain
+      occupancy of the (serial) merge timeline -- the idle share of a
+      domain is total minus its busy.
+    - ``stall_*``: per ordered ``(blocker, blocked)`` pair, how often
+      and by how much the safe-time fence cut a window short.  The
+      ``fence-gap`` is what the exact-order merge costs; the
+      ``beyond-lookahead`` residual is what even a lookahead-credited
+      conservative engine would still block on.
+    - ``traffic``: the cross-domain send matrix (which pairs actually
+      talk, and how much).
+    - :meth:`speedup_bound`: total events over the longest
+      cross-domain-ordered chain of window events -- an upper bound on
+      what any parallel execution of this exact event stream could
+      achieve.
+    """
+
+    def __init__(self, names):
+        self.names = tuple(names)
+        self.busy_ns = {name: 0.0 for name in self.names}
+        self.events = {name: 0 for name in self.names}
+        self.windows = {name: 0 for name in self.names}
+        #: ``(blocker, blocked) -> `` count / fence-gap ns / residual ns.
+        self.stall_counts: Dict[Tuple[str, str], int] = {}
+        self.stall_ns: Dict[Tuple[str, str], float] = {}
+        self.stall_residual_ns: Dict[Tuple[str, str], float] = {}
+        #: ``(src, dst) -> `` cross-domain sends.
+        self.traffic: Dict[Tuple[str, str], int] = {}
+        #: Event-count critical path per domain: windows append their
+        #: event counts; a cross-send orders the receiver's next window
+        #: after the sender's chain.
+        self.cp_events = {name: 0 for name in self.names}
+        self._dep = {name: 0 for name in self.names}
+        self._receivers = set()
+        self.total_events = 0
+
+    def record_window(self, name: str, advanced_ns: float,
+                      n_events: int) -> None:
+        """One dispatch window closed for domain ``name``."""
+        self.windows[name] += 1
+        if advanced_ns > 0.0:
+            self.busy_ns[name] += advanced_ns
+        self.events[name] += n_events
+        self.total_events += n_events
+        start = self.cp_events[name]
+        dep = self._dep[name]
+        if dep > start:
+            start = dep
+        self.cp_events[name] = start + n_events
+        if self._receivers:
+            reach = self.cp_events[name]
+            for dst in self._receivers:
+                if dst in self._dep and reach > self._dep[dst]:
+                    self._dep[dst] = reach
+            self._receivers.clear()
+
+    def record_stall(self, blocker: str, blocked: str, cand_ns: float,
+                     bound_ns: float, lookahead_ns: float) -> None:
+        """A window for ``blocked`` hit the safe-time fence held by
+        ``blocker``: its next candidate at ``cand_ns`` could not
+        dispatch past the fence at ``bound_ns``."""
+        key = (blocker, blocked)
+        self.stall_counts[key] = self.stall_counts.get(key, 0) + 1
+        gap = cand_ns - bound_ns
+        if gap > 0.0:
+            self.stall_ns[key] = self.stall_ns.get(key, 0.0) + gap
+        residual = gap - lookahead_ns
+        if residual > 0.0:
+            self.stall_residual_ns[key] = (
+                self.stall_residual_ns.get(key, 0.0) + residual)
+
+    def record_cross(self, src: str, dst: str) -> None:
+        key = (src, dst)
+        self.traffic[key] = self.traffic.get(key, 0) + 1
+        self._receivers.add(dst)
+
+    def speedup_bound(self) -> float:
+        """Total events over the longest ordered chain (>= 1.0)."""
+        longest = max(self.cp_events.values(), default=0)
+        if longest <= 0:
+            return 1.0
+        return self.total_events / longest
+
+    def busy_bound(self) -> float:
+        """Total busy time over the busiest domain's (>= 1.0)."""
+        peak = max(self.busy_ns.values(), default=0.0)
+        if peak <= 0.0:
+            return 1.0
+        return sum(self.busy_ns.values()) / peak
+
+
 class Domain:
     """One timing domain's share of the event queue."""
 
@@ -189,7 +296,8 @@ class PartitionEngine:
 
     __slots__ = ("env", "plan", "domains", "_by_name", "default", "current",
                  "_running", "_run_domain", "_bound", "cross_sends",
-                 "domain_switches")
+                 "domain_switches", "observatory", "_bound_owner",
+                 "_stall_at")
 
     def __init__(self, env: Environment, plan: PartitionPlan):
         self.env = env
@@ -223,6 +331,18 @@ class PartitionEngine:
         #: Lifetime diagnostics.
         self.cross_sends = 0
         self.domain_switches = 0
+        #: Domain holding the current safe-time fence (for stall blame).
+        self._bound_owner: Optional[Domain] = None
+        #: Fenced candidate's time when a window closed on the bound.
+        self._stall_at = _INF
+        #: Per-window/per-send observability, only when the run is
+        #: telemetry-instrumented (None keeps the engine zero-cost).
+        tel = getattr(env, "telemetry", None)
+        if tel is not None:
+            self.observatory = PartitionObservatory(self.domain_names())
+            tel.partition = self.observatory
+        else:
+            self.observatory = None
 
     # -- introspection -----------------------------------------------------
 
@@ -261,6 +381,7 @@ class PartitionEngine:
                 start = wheel._next_start
                 if start < self._bound[0]:
                     self._bound = (start, -1, -1)
+                    self._bound_owner = domain
             return
         entry = (when, priority, seq, event)
         if self._running and domain is self._run_domain:
@@ -270,6 +391,7 @@ class PartitionEngine:
         heappush(domain.queue, entry)
         if self._running and entry < self._bound:
             self._bound = entry
+            self._bound_owner = domain
 
     def schedule(self, event: Event, priority: int, delay: float) -> None:
         """`Environment._schedule` under partitioning: route to current."""
@@ -314,6 +436,8 @@ class PartitionEngine:
                     f"delay {delay} ns violates the declared lookahead "
                     f"window of {window} ns")
             self.cross_sends += 1
+            if self.observatory is not None:
+                self.observatory.record_cross(src.name, dst)
         prev = self.current
         self.current = target
         try:
@@ -403,25 +527,29 @@ class PartitionEngine:
     def _select(self, stop_at: float):
         """Pick the domain owning the globally earliest live event.
 
-        Returns ``(domain, bound)`` -- the winner plus the runner-up
-        key across the other domains (the safe-time window's edge) --
-        or None when nothing is due at or before ``stop_at``. Promotes
-        the winner's due wheel buckets first, so the returned winner
-        always has its next live event surfaced on its heap.
+        Returns ``(domain, bound, bound_owner)`` -- the winner plus the
+        runner-up key across the other domains (the safe-time window's
+        edge) and the domain holding it -- or None when nothing is due
+        at or before ``stop_at``. Promotes the winner's due wheel
+        buckets first, so the returned winner always has its next live
+        event surfaced on its heap.
         """
         domains = self.domains
         while True:
             best_key: Tuple = _INF_KEY
             second: Tuple = _INF_KEY
             best = None
+            second_owner = None
             for domain in domains:
                 key = self._head_bound(domain)
                 if key < best_key:
                     second = best_key
+                    second_owner = best
                     best_key = key
                     best = domain
                 elif key < second:
                     second = key
+                    second_owner = domain
             if best is None or best_key[0] > stop_at:
                 return None
             wheel = best.wheel
@@ -432,7 +560,7 @@ class PartitionEngine:
                     # its wheel: promote the due buckets and re-select.
                     self._promote_domain(best, stop_at)
                     continue
-            return best, second
+            return best, second, second_owner
 
     def _run_inner(self, domain: Domain, stop_at: float) -> None:
         """Dispatch ``domain``'s events inside the safe-time window.
@@ -470,6 +598,8 @@ class PartitionEngine:
                     elif cand >= bound:
                         # The window closed before the staged entry:
                         # hand back to the outer merge.
+                        if self.observatory is not None:
+                            self._stall_at = cand[0]
                         self._flush_staged(domain)
                         return
                     else:
@@ -507,6 +637,8 @@ class PartitionEngine:
                         if not queue or queue[0][0] > stop_at:
                             return
                     if queue[0] >= bound:
+                        if self.observatory is not None:
+                            self._stall_at = queue[0][0]
                         return
                     cand = pop(queue)
                     event = cand[3]
@@ -550,7 +682,7 @@ class PartitionEngine:
                     sel = self._select(stop_at)
                     if sel is None:
                         break
-                    domain, _ = sel
+                    domain = sel[0]
                     when, priority, seq, event = heappop(domain.queue)
                     self.current = domain
                     hook(env, when, event)
@@ -559,21 +691,39 @@ class PartitionEngine:
             return env._finish_run(until, stop_at)
         self._running = True
         self._bound = _INF_KEY
+        obs = self.observatory
         try:
             while True:
                 sel = self._select(stop_at)
                 if sel is None:
                     break
-                domain, second = sel
+                domain, second, second_owner = sel
                 self._bound = second
+                self._bound_owner = second_owner
                 self.domain_switches += 1
+                if obs is None:
+                    self._run_inner(domain, stop_at)
+                    continue
+                self._stall_at = _INF
+                window_from = env._now
+                dispatched_before = env.events_dispatched
                 self._run_inner(domain, stop_at)
+                obs.record_window(
+                    domain.name, env._now - window_from,
+                    env.events_dispatched - dispatched_before)
+                owner = self._bound_owner
+                if self._stall_at < _INF and owner is not None:
+                    obs.record_stall(
+                        owner.name, domain.name, self._stall_at,
+                        self._bound[0],
+                        self.plan.window(owner.name, domain.name))
         except StopSimulation as stop:
             return stop.args[0]
         finally:
             self._running = False
             self._run_domain = None
             self._bound = _INF_KEY
+            self._bound_owner = None
             # Exception paths may leave staged entries behind; they must
             # land in their heaps so a resumed run dispatches them.
             for domain in self.domains:
@@ -587,7 +737,7 @@ class PartitionEngine:
         sel = self._select(_INF)
         if sel is None:
             raise EmptySchedule() from None
-        domain, _ = sel
+        domain = sel[0]
         when, priority, seq, event = heappop(domain.queue)
         self.current = domain
         hook = env._profile_hook
@@ -626,5 +776,5 @@ class PartitionEngine:
         return best
 
 
-__all__ = ["PartitionPlan", "PartitionEngine", "Domain",
-           "LookaheadViolation", "HOST", "INTERCONNECT", "NIC"]
+__all__ = ["PartitionPlan", "PartitionEngine", "PartitionObservatory",
+           "Domain", "LookaheadViolation", "HOST", "INTERCONNECT", "NIC"]

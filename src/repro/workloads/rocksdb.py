@@ -13,7 +13,7 @@ import dataclasses
 import enum
 import itertools
 import random
-from typing import Optional
+from typing import Any, Optional
 
 #: GET service time (paper: "10us GET requests").
 GET_SERVICE_NS = 10_000.0
@@ -54,6 +54,9 @@ class Request:
     slo_ns: Optional[float] = None
     completed_ns: Optional[float] = None
     req_id: int = dataclasses.field(default_factory=lambda: next(_req_ids))
+    #: Causal request context (:class:`repro.obs.spans.SpanCtx`),
+    #: minted at RPC arrival; None whenever tracing is off.
+    ctx: Any = dataclasses.field(default=None, repr=False, compare=False)
 
     @property
     def latency_ns(self) -> Optional[float]:

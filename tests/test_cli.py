@@ -79,6 +79,30 @@ def test_report_unknown_experiment(capsys):
     assert "unknown experiment" in capsys.readouterr().err
 
 
+def test_analyze_command(tmp_path, capsys):
+    out = tmp_path / "blame.md"
+    assert main(["analyze", "table3", "--fast", "--out", str(out)]) == 0
+    text = out.read_text()
+    assert text.startswith("# table3: causal analysis")
+    assert "Causal request blame" in text
+    assert "Critical path of the p99 request" in text
+    assert "Partition observatory" in text
+    assert "sched-policy" in text
+
+
+def test_analyze_without_causal_roots_degrades(tmp_path, capsys):
+    # table2 is pure hardware microbenchmarks: no request roots exist,
+    # and the analyzer must say so rather than fail.
+    out = tmp_path / "blame.md"
+    assert main(["analyze", "table2", "--fast", "--out", str(out)]) == 0
+    assert "no request-rooted spans" in out.read_text()
+
+
+def test_analyze_unknown_experiment(capsys):
+    assert main(["analyze", "nope"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
 def test_registry_covers_every_bench_module():
     import repro.bench.generate as generate
     registered = {module for module, _ in EXPERIMENTS.values()}

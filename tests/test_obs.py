@@ -308,16 +308,28 @@ def test_chrome_trace_export(tmp_path):
     events = data["traceEvents"]
     meta = [e for e in events if e["ph"] == "M"]
     spans = [e for e in events if e["ph"] == "X"]
+    begins = [e for e in events if e["ph"] == "B"]
     assert any(e["name"] == "process_name" for e in meta)
     thread_names = {e["args"]["name"] for e in meta
                     if e["name"] == "thread_name"}
     assert {"core0", "core1"} <= thread_names
-    assert len(spans) == n_events
+    # Completed spans export as "X"; spans still open at export time
+    # (e.g. a parked core's core.park) export as "B" begin events.
+    assert len(spans) + len(begins) == n_events
     for event in spans[:50]:
         assert event["ts"] >= 0
         assert event["dur"] >= 0
         assert "." in event["name"]
         assert event["cat"] == event["name"].split(".", 1)[0]
+    for event in begins:
+        assert "dur" not in event
+    # Cross-track causal edges export as flow pairs ("s" start at the
+    # source, "f" with bp="e" at the destination).
+    starts = [e for e in events if e["ph"] == "s"]
+    finishes = [e for e in events if e["ph"] == "f"]
+    assert starts and len(starts) == len(finishes)
+    assert {e["id"] for e in starts} == {e["id"] for e in finishes}
+    assert all(e["bp"] == "e" for e in finishes)
 
 
 def test_metrics_dump_and_write(tmp_path):

@@ -246,10 +246,11 @@ def test_merge_gauge_and_timeweighted_last_write_wins():
 # -- pool parity on a real sweep ---------------------------------------------
 
 def test_instrumented_sweep_parity_jobs1_vs_jobs4():
-    """The ISSUE acceptance check: metrics digest, Perfetto trace, and
-    run report of a real (tiny) sweep are byte-identical at --jobs 1
-    and --jobs 4."""
+    """The ISSUE acceptance check: metrics digest, Perfetto trace, run
+    report, and causal analysis of a real (tiny) sweep are
+    byte-identical at --jobs 1 and --jobs 4."""
     from repro.core import Placement, WaveOpts
+    from repro.obs import analyze_report
     from repro.sched import FifoPolicy
     from repro.sched.experiment import sweep_load
     from repro.workloads import RocksDbModel
@@ -263,5 +264,6 @@ def test_instrumented_sweep_parity_jobs1_vs_jobs4():
             sweep_load(Placement.NIC, WaveOpts.full(), 2, FifoPolicy,
                        RocksDbModel.fifo_mix, rates, jobs=jobs, **kwargs)
         artifacts.append((metrics_dump(hub), metrics_digest(hub),
-                          chrome_trace_events(hub), run_report(hub)))
+                          chrome_trace_events(hub), run_report(hub),
+                          analyze_report(hub)))
     assert artifacts[0] == artifacts[1]
