@@ -10,10 +10,10 @@ Two measurements, written to ``BENCH_perf.json``:
 - **partitioned kernel vs serial**: the same workload spread over the
   three hardware-derived timing domains (host / interconnect / NIC),
   run through the partitioned parallel-DES engine
-  (:mod:`repro.sim.partition`) and the serial kernel; records the
-  relative throughput honestly (the exact-order merge trades a little
-  CPython overhead for determinism-checked partitioning) and gates on
-  dispatch-count equality.
+  (:mod:`repro.sim.partition`) in both its modes -- the window-batched
+  default and the exact-order merge fallback -- and the serial kernel;
+  gates on dispatch-count equality across all three and on the batched
+  mode actually beating serial (>= 1.0x).
 - **fig4a fast wall-clock**: the end-to-end Fig 4a sweep in ``--fast``
   mode, serially and (on multicore hosts) through the ``--jobs``
   process pool.
@@ -70,11 +70,13 @@ PRE_PR_BASELINE = {
 # --check fails when fresh events/sec < floor * committed events/sec.
 REGRESSION_FLOOR = 0.70
 # --check floor on the partitioned kernel's throughput relative to the
-# serial kernel on the same workload, same run. The exact-order merge
-# is expected to cost 0-20% on CPython (it buys determinism-checked
-# partitioning, not wall-clock, until domains can run on real cores);
-# below this floor the merge machinery itself has regressed.
-PARTITION_SPEEDUP_FLOOR = 0.45
+# serial kernel on the same workload, same run -- measured in the
+# window-batched default mode, which drains proven-independent safe
+# windows without per-event merge compares and must actually beat the
+# serial kernel on the domain-spread workload. (The exact-order merge
+# fallback is recorded alongside as ``exact_speedup_vs_serial`` but
+# not gated; it historically sits around 0.7-0.9x.)
+PARTITION_SPEEDUP_FLOOR = 1.0
 # --check also fails when fresh heap admissions creep more than 10%
 # above the committed count: the event-reduction machinery (timer
 # wheel, poll coalescing, virtual ticks) silently falling out of use
@@ -201,21 +203,33 @@ def measure_kernel(repeats: int = 3) -> dict:
     }
 
 
-def partition_kernel_point(partitioned: bool, horizon_ns: int = 2_000_000,
+#: Horizon of one partition-bench run. Short enough (~5 s of wall per
+#: engine run) that machine-wide load drift cannot move much *within*
+#: one serial/batched pair -- the paired-ratio estimator below depends
+#: on pair members seeing the same machine.
+PARTITION_HORIZON_NS = 1_000_000
+
+
+def partition_kernel_point(engine: str,
+                           horizon_ns: int = PARTITION_HORIZON_NS,
                            chains: int = 40, racers: int = 40,
                            preempts: int = 10, cross: int = 9) -> dict:
-    """One partitioned-kernel bench run (serial when ``partitioned`` is
-    False); the same workload either way, spread over the three
+    """One partitioned-kernel bench run; the same workload whatever the
+    ``engine`` ("serial", "exact", or "batched"), spread over the three
     hardware-derived domains with cross-domain sender loops."""
     from repro.hw import HwParams
     from repro.hw.pcie import Interconnect
 
     env = Environment()
     part = None
-    if partitioned:
+    if engine != "serial":
         plan = Interconnect(HwParams.pcie()).partition_plan()
         part = env.enable_partition(plan, use_partition=True)
         assert part is not None, "hw-derived plan must be usable"
+        # Pin the mode explicitly so the measurement is what it says
+        # it is, whatever the ambient REPRO_NO_WINDOW_BATCH hatch.
+        part.batching = engine == "batched"
+        part.threaded = False
     _build_workload(env, chains, racers, preempts,
                     domains=("host", "ic", "nic"), cross=cross)
     t0 = time.perf_counter()
@@ -230,37 +244,85 @@ def partition_kernel_point(partitioned: bool, horizon_ns: int = 2_000_000,
     if part is not None:
         point["domain_switches"] = part.domain_switches
         point["cross_sends"] = part.cross_sends
+        if engine == "batched":
+            point["windows_batched"] = part.windows_batched
+            point["events_batched"] = part.events_batched
+            point["batch_solo"] = part.batch_solo
+            point["batch_degrades"] = part.batch_degrades
     return point
 
 
 def measure_partition(repeats: int = 3) -> dict:
     """Serial vs partitioned kernel on the domain-spread workload.
 
-    The partitioned engine dispatches in the exact global order (it
-    must, for byte-identity), so this is a *merge overhead* measurement,
-    not a parallel-speedup one: expect ~0.8-1.0x on CPython, recorded
-    honestly. ``events_dispatched`` equality is the hard ``--check``
-    gate -- the two engines ran the identical workload or the bench is
-    meaningless.
+    Three engines, same workload: the serial kernel, the partitioned
+    engine's exact-order merge (per-event global ordering, the
+    byte-identity fallback), and its window-batched default (domains
+    drain proven-independent safe windows without consulting each
+    other). ``events_dispatched`` equality across all three is the hard
+    ``--check`` gate -- they ran the identical workload or the bench is
+    meaningless -- and the batched mode must reach
+    :data:`PARTITION_SPEEDUP_FLOOR` (>= 1.0x serial).
     """
-    partition_kernel_point(False, horizon_ns=200_000)  # warmup
-    partition_kernel_point(True, horizon_ns=200_000)
-    serial_runs = [partition_kernel_point(False) for _ in range(repeats)]
-    part_runs = [partition_kernel_point(True) for _ in range(repeats)]
-    serial_best = max(r["events_logical"] / r["wall_s"] for r in serial_runs)
-    part_best = max(r["events_logical"] / r["wall_s"] for r in part_runs)
-    serial, part = serial_runs[0], part_runs[0]
+    for engine in ("serial", "exact", "batched"):  # warmup
+        partition_kernel_point(engine, horizon_ns=200_000)
+    # The speedups are *medians of paired ratios* over order-alternated
+    # serial/batched pairs: machine-wide load drift inflates both walls
+    # of an adjacent pair together (so the ratio survives noise that
+    # makes best-of-N-vs-best-of-N flake across the 20%+ wall variance
+    # observed on CI-class shared runners), and alternating which
+    # engine runs first cancels the bias a monotone slowdown would
+    # otherwise put on whichever engine always ran second. The exact
+    # merge rides along in the first ``repeats`` rounds.
+    pairs = 2 * repeats + 1
+    serial_runs, exact_runs, part_runs = [], [], []
+    for i in range(pairs):
+        if i % 2 == 0:
+            serial_runs.append(partition_kernel_point("serial"))
+            part_runs.append(partition_kernel_point("batched"))
+        else:
+            part_runs.append(partition_kernel_point("batched"))
+            serial_runs.append(partition_kernel_point("serial"))
+        if i < repeats:
+            exact_runs.append(partition_kernel_point("exact"))
+
+    def _evps(run):
+        return run["events_dispatched"] / run["wall_s"]
+
+    def _median(values):
+        ordered = sorted(values)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+    serial_best = max(_evps(r) for r in serial_runs)
+    exact_best = max(_evps(r) for r in exact_runs)
+    part_best = max(_evps(r) for r in part_runs)
+    speedup = _median([_evps(p) / _evps(s)
+                       for p, s in zip(part_runs, serial_runs)])
+    exact_speedup = _median([_evps(e) / _evps(s)
+                             for e, s in zip(exact_runs, serial_runs)])
+    serial, exact, part = serial_runs[0], exact_runs[0], part_runs[0]
     return {
         "events_per_sec": round(part_best),
         "serial_events_per_sec": round(serial_best),
-        "speedup_vs_serial": round(part_best / serial_best, 3),
+        "exact_events_per_sec": round(exact_best),
+        "speedup_vs_serial": round(speedup, 3),
+        "exact_speedup_vs_serial": round(exact_speedup, 3),
         "events_dispatched": part["events_dispatched"],
         "serial_events_dispatched": serial["events_dispatched"],
+        "exact_events_dispatched": exact["events_dispatched"],
         "events_logical": part["events_logical"],
         "events_scheduled": part["events_scheduled"],
         "domain_switches": part["domain_switches"],
         "cross_sends": part["cross_sends"],
+        "windows_batched": part["windows_batched"],
+        "events_batched": part["events_batched"],
+        "batch_solo": part["batch_solo"],
+        "batch_degrades": part["batch_degrades"],
         "runs": part_runs,
+        "exact_runs": exact_runs,
         "serial_runs": serial_runs,
     }
 
@@ -336,10 +398,12 @@ def main(fast: bool = False, check: bool = False,
     print("partitioned kernel (3 domains, cross-domain senders) vs "
           "serial ...", flush=True)
     partition = measure_partition(repeats=max(1, repeats))
-    print(f"  partitioned {partition['events_per_sec']:,} ev/s vs serial "
+    print(f"  window-batched {partition['events_per_sec']:,} ev/s vs serial "
           f"{partition['serial_events_per_sec']:,} ev/s "
-          f"({partition['speedup_vs_serial']:.2f}x), "
-          f"{partition['domain_switches']:,} domain switches, "
+          f"({partition['speedup_vs_serial']:.2f}x; exact-order merge "
+          f"{partition['exact_speedup_vs_serial']:.2f}x), "
+          f"{partition['windows_batched']:,} windows, "
+          f"{partition['batch_solo']:,} solo steps, "
           f"{partition['cross_sends']:,} cross sends", flush=True)
 
     result = {
@@ -427,29 +491,36 @@ def main(fast: bool = False, check: bool = False,
                       f"committed {events_base:,})")
                 return 1
         # Partitioned-kernel gates: dispatch-count equality is
-        # deterministic and exact (the two engines ran the same
-        # workload, or this bench proves nothing); the speedup floor is
-        # wide because it divides two noisy wall-clocks.
+        # deterministic and exact (all three engines ran the same
+        # workload, or this bench proves nothing); the window-batched
+        # speedup floor demands the batched default actually beats the
+        # serial kernel.
         if (partition["events_dispatched"]
+                != partition["serial_events_dispatched"]
+                or partition["exact_events_dispatched"]
                 != partition["serial_events_dispatched"]):
-            print(f"PERF REGRESSION: partitioned kernel dispatched "
-                  f"{partition['events_dispatched']:,} events but the "
-                  f"serial kernel dispatched "
-                  f"{partition['serial_events_dispatched']:,} on the "
-                  f"same workload")
+            print(f"PERF REGRESSION: dispatch counts diverged on the "
+                  f"same workload: batched "
+                  f"{partition['events_dispatched']:,}, exact "
+                  f"{partition['exact_events_dispatched']:,}, serial "
+                  f"{partition['serial_events_dispatched']:,}")
             return 1
         if partition["speedup_vs_serial"] < PARTITION_SPEEDUP_FLOOR:
-            print(f"PERF REGRESSION: partitioned kernel at "
-                  f"{partition['speedup_vs_serial']:.2f}x of serial < "
-                  f"{PARTITION_SPEEDUP_FLOOR:.2f}x floor")
+            print(f"PERF REGRESSION: window-batched partitioned kernel "
+                  f"at {partition['speedup_vs_serial']:.2f}x of serial "
+                  f"< {PARTITION_SPEEDUP_FLOOR:.2f}x floor (batching "
+                  f"must beat the serial kernel, not just bound the "
+                  f"merge overhead)")
             return 1
         print(f"perf check OK: kernel {got:,} ev/s >= "
               f"{floor:,.0f} (70% of committed {base:,})"
               + (f", events_scheduled {events_got:,} <= "
                  f"{EVENTS_CEILING * events_base:,.0f}"
                  if events_base and events_got else "")
-              + f", partitioned {partition['speedup_vs_serial']:.2f}x "
-              f"of serial with equal dispatch counts")
+              + f", window-batched {partition['speedup_vs_serial']:.2f}x "
+              f"of serial (exact merge "
+              f"{partition['exact_speedup_vs_serial']:.2f}x) with equal "
+              f"dispatch counts")
     return 0
 
 

@@ -129,7 +129,8 @@ class Environment:
     __slots__ = ("_now", "_queue", "_seq", "_active_process", "faults",
                  "telemetry", "_timeout_pool", "_profile_hook", "_wheel",
                  "_staged", "_partition", "events_scheduled",
-                 "events_dispatched", "timers_coalesced")
+                 "events_dispatched", "timers_coalesced",
+                 "cancelled_purged", "_cancel_backlog")
 
     def __init__(self, initial_time: float = 0,
                  use_wheel: Optional[bool] = None):
@@ -152,6 +153,14 @@ class Environment:
         self.events_scheduled = 0
         self.events_dispatched = 0
         self.timers_coalesced = 0
+        #: Cancelled wheel entries bulk-dropped by the partition
+        #: engine's window-close purge (serial kernel: stays 0 -- it
+        #: only ever drops dead entries at bucket promotion).
+        self.cancelled_purged = 0
+        #: Cancels since the last purge accounting; cheap running
+        #: counter incremented by :meth:`Event.cancel` so the purge can
+        #: trigger on backlog size without scanning anything.
+        self._cancel_backlog = 0
         #: Optional per-step observer installed by
         #: :class:`repro.obs.profile.LoopProfiler`; when set, :meth:`run`
         #: takes the stepped (profiled) path instead of the inline loop.
@@ -172,7 +181,19 @@ class Environment:
 
     @property
     def now(self) -> float:
-        """Current simulated time (ns)."""
+        """Current simulated time (ns).
+
+        During a *concurrent* batched round of the partitioned engine
+        (free-threaded window executor) each window carries its own
+        clock; reads from inside a window resolve to its domain's time
+        via the engine's thread-local. Everywhere else this is the
+        plain scalar clock.
+        """
+        part = self._partition
+        if part is not None and part._concurrent_live:
+            ctx = getattr(part._tls, "ctx", None)
+            if ctx is not None:
+                return ctx.domain._now
         return self._now
 
     @property
@@ -195,7 +216,41 @@ class Environment:
         """
         part = self._partition
         if part is not None:
-            return part.timeout(delay, value)
+            if part._concurrent_live:
+                return part.timeout(delay, value)
+            pool = self._timeout_pool
+            if pool:
+                if delay < 0:
+                    raise ValueError(f"negative delay {delay}")
+                timer = pool.pop()
+                timer.delay = delay
+                timer.callbacks = []
+                timer._value = value
+                timer._ok = True
+                timer._defused = False
+                timer._cancelled = False
+                timer._cross = False
+                self._seq += 1
+                domain = part.current
+                if part._running and domain is part._run_domain:
+                    # Inline of Partition._insert's running-domain
+                    # cases (wheel file or staged append, no
+                    # bound/fence updates apply): dodges two call hops
+                    # on the hottest allocation site in every
+                    # experiment, which is most of the partitioned
+                    # kernel's per-event overhead vs this serial path.
+                    wheel = domain.wheel
+                    if wheel is not None and delay >= MIN_WHEEL_DELAY:
+                        wheel.insert(self._now + delay, NORMAL, self._seq,
+                                     timer, delay >= MIN_COARSE_DELAY)
+                    else:
+                        domain.staged.append(
+                            (self._now + delay, NORMAL, self._seq, timer))
+                else:
+                    part._insert(domain, self._now + delay, NORMAL,
+                                 self._seq, timer, delay)
+                return timer
+            return Timeout(self, delay, value)
         pool = self._timeout_pool
         if pool:
             if delay < 0:
@@ -209,6 +264,7 @@ class Environment:
             timer._ok = True
             timer._defused = False
             timer._cancelled = False
+            timer._cross = False
             self._seq += 1
             wheel = self._wheel
             if wheel is not None and delay >= MIN_WHEEL_DELAY:
@@ -242,7 +298,23 @@ class Environment:
     def _schedule(self, event: Event, priority: int, delay: float = 0) -> None:
         part = self._partition
         if part is not None:
-            part.schedule(event, priority, delay)
+            if part._concurrent_live:
+                part.schedule(event, priority, delay)
+                return
+            self._seq += 1
+            domain = part.current
+            if part._running and domain is part._run_domain:
+                # Same running-domain inline as timeout() above.
+                wheel = domain.wheel
+                if wheel is not None and delay >= MIN_WHEEL_DELAY:
+                    wheel.insert(self._now + delay, priority, self._seq,
+                                 event, delay >= MIN_COARSE_DELAY)
+                else:
+                    domain.staged.append(
+                        (self._now + delay, priority, self._seq, event))
+                return
+            part._insert(domain, self._now + delay, priority, self._seq,
+                         event, delay)
             return
         self._seq += 1
         wheel = self._wheel

@@ -49,6 +49,8 @@ import hashlib
 import random
 from typing import Any, List, Optional, Tuple
 
+from repro.sim.rngs import derive_seed
+
 #: The supported fault classes.
 AGENT_CRASH = "agent-crash"
 AGENT_HANG = "agent-hang"
@@ -137,12 +139,22 @@ class FaultRecord:
 
 
 class _PlanState:
-    """Per-plan mutable bookkeeping (event counts, firings)."""
+    """Per-plan mutable bookkeeping (event counts, firings).
 
-    __slots__ = ("plan", "seen", "fires")
+    Each plan owns its own RNG stream (derived from the injector seed
+    and the plan's position+kind via :func:`repro.sim.rngs.derive_seed`)
+    so a probabilistic plan's draw sequence depends only on *its own*
+    matching events -- never on how other plans' events interleave with
+    them, and never on the cross-domain dispatch order of the
+    window-batched partition engine.
+    """
 
-    def __init__(self, plan: FaultPlan):
+    __slots__ = ("plan", "rng", "seen", "fires")
+
+    def __init__(self, plan: FaultPlan, seed: int, index: int):
         self.plan = plan
+        self.rng = random.Random(
+            derive_seed(seed, "fault-plan", str(index), plan.kind))
         self.seen = 0    # matching events observed
         self.fires = 0   # times the fault actually fired
 
@@ -153,17 +165,21 @@ class FaultInjector:
     Construct with the environment, a seed, and the plans; then
     :meth:`arm` to attach (sets ``env.faults``) and spawn the driver
     processes for time-triggered agent crashes. Instrumented subsystems
-    call the ``on_*`` hooks; all randomness comes from one private
-    ``random.Random(seed)`` consulted in a deterministic call order, so
-    two runs with the same ``(seed, plans)`` are byte-identical.
+    call the ``on_*`` hooks; each plan draws from its own named stream
+    (seeded via :func:`repro.sim.rngs.derive_seed` from ``(seed, plan
+    index, kind)``), so two runs with the same ``(seed, plans)`` are
+    byte-identical *and* one plan's draw sequence is independent of
+    every other plan's event interleaving -- the property the
+    window-batched partition engine needs, since it may dispatch
+    independent domains' events out of global timestamp order.
     """
 
     def __init__(self, env, seed: int = 0,
                  plans: Optional[List[FaultPlan]] = None):
         self.env = env
         self.seed = seed
-        self.rng = random.Random(seed)
-        self._states = [_PlanState(p) for p in (plans or [])]
+        self._states = [_PlanState(p, seed, i)
+                        for i, p in enumerate(plans or [])]
         self.log: List[FaultRecord] = []
         self._agents: List[Any] = []
         self._armed = False
@@ -179,7 +195,7 @@ class FaultInjector:
     # -- lifecycle ---------------------------------------------------------
 
     def add_plan(self, plan: FaultPlan) -> FaultPlan:
-        self._states.append(_PlanState(plan))
+        self._states.append(_PlanState(plan, self.seed, len(self._states)))
         return plan
 
     @property
@@ -242,7 +258,7 @@ class FaultInjector:
         if plan.every_n is not None:
             return state.seen % plan.every_n == 0
         if plan.probability is not None:
-            return self.rng.random() < plan.probability
+            return state.rng.random() < plan.probability
         # at_ns for event-based kinds: first matching event at/after at_ns.
         return self.env.now >= plan.at_ns
 

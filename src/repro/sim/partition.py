@@ -15,22 +15,14 @@ This engine partitions the event queue accordingly: each
 :class:`~repro.sim.wheel.TimerWheel`, and a staged list, and the run
 loop alternates between domains under a conservative safe-time window.
 
-**Exact-order dispatch.** The model layer is plain Python sharing one
-RNG and mutable state, so the engine must preserve the *global*
-``(time, priority, seq)`` dispatch order exactly -- the run loop is a
-merge across the per-domain queues, never an out-of-order execution.
-That makes byte-identity unconditional on the quality of the domain
-tagging (a mis-tagged event still dispatches at its exact global
-position), which is what lets the golden digest stay pinned while
-partitioning is toggled freely. Lookahead is instead enforced on the
-explicit cross-domain channel (:meth:`Environment.cross_timeout`): a
-send below the declared minimum raises :class:`LookaheadViolation`.
-This is the machine-checked form of the forward-in-time causality
-assumption the Borrill critique attacks -- the kernel *states* the
-windows it relies on and refuses inputs that break them, instead of
-assuming them silently.
+The engine runs in one of two modes:
 
-**Safe-time windows.** When the run loop picks the domain owning the
+**Exact-order merge** (fallback; always available). The run loop is a
+merge across the per-domain queues preserving the *global*
+``(time, priority, seq)`` dispatch order exactly, never an
+out-of-order execution. That makes byte-identity unconditional on the
+quality of the domain tagging (a mis-tagged event still dispatches at
+its exact global position). When the merge picks the domain owning the
 globally earliest live event, it may keep dispatching that domain's
 events without re-consulting the others until it reaches the *bound*:
 the runner-up lower bound across all other domains (their cleaned heap
@@ -38,18 +30,71 @@ heads, their wheels' earliest bucket starts). Cross-domain inserts made
 while a domain runs lower the bound immediately, so the window is
 always conservative. Within the window the inner loop is the same
 tight dispatch loop as the serial kernel -- staged fast path, lazy
-cancellation, freelist recycling, per-domain wheel promotion.
+cancellation, freelist recycling, per-domain wheel promotion. When
+every *other* domain is empty the window runs unfenced (no per-event
+bound comparison) until a cross-domain insert re-arms the fence.
 
-**Fallbacks.** The serial single-queue kernel remains the default;
+**Window-batched dispatch** (the default). YAWNS-style synchronous
+rounds: at each round barrier the engine reads every domain's earliest
+pending time (its *head*), gives each domain a *fence* --
+``min over s != d of (head_s + lookahead(s -> d))`` -- and lets each
+fenced domain drain its own heap+wheel straight through, without
+interleaving through the global merge, for every event strictly below
+its fence. Safety: an event sent from ``s`` during the round lands at
+``>= head_s + lookahead(s -> d) >= fence_d``, so nothing can arrive
+below a fence mid-round; progress: the globally earliest head is
+always strictly below its own fence because every lookahead is
+strictly positive. Events *within* one domain keep their exact
+relative order; events in different domains may dispatch out of
+global-time order, which is sound only under the **domain-partitioned
+model contract**: model state (including RNG streams -- see
+:mod:`repro.sim.rngs`) is owned by a single domain, and every
+cross-domain interaction goes through the explicit lookahead-checked
+channel. The **commit rule** covers events that could observe
+cross-domain state anyway: cross-marked events (``Event._cross`` --
+cross-domain sends, shared-resource grants) never dispatch inside a
+batched window; a cross head publishes its time with *no* lookahead
+credit, fencing every other domain at or below it, and the event
+dispatches through an exact solo merge step once it is the global
+minimum. Telemetry-instrumented runs, profiled runs, and
+``run(until=<event>)`` take the exact-order merge for the whole run
+(span ordering and stop points are observably order-sensitive), and a
+detected contract violation (an ambient insert below a time its target
+domain already drained past this round) sticky-degrades the rest of
+the run to exact order. ``REPRO_NO_WINDOW_BATCH=1`` pins the
+exact-order merge for differential testing.
+
+On top of batching, ``REPRO_PARALLEL_DOMAINS`` runs each round's
+windows through a thread pool (thread per domain, barrier at the round
+close). On free-threaded builds (``sys._is_gil_enabled()`` false;
+auto-enabled there) windows run concurrently, with per-window sequence
+blocks, staged-local scheduling, and a cross-domain outbox merged at
+the barrier; on GIL builds windows are submitted one at a time -- the
+same plumbing and barrier, byte-identical results, no data races --
+so stock CPython keeps its win from the cheaper merge loop alone.
+``force`` submits concurrently even under the GIL (the races the
+design must not have are then exercisable by tests on stock builds).
+
+**Fallbacks.** The serial single-queue kernel remains available;
 :meth:`Environment.enable_partition` refuses to install (returning
 None) when ``REPRO_NO_PARTITION`` is set, ``use_partition=False`` is
 passed, or any lookahead window is zero/negative -- a conservative
 engine with no lookahead degenerates to lockstep, so zero-lookahead
-plans fall back to the serial path by design.
+plans fall back to the serial path by design. Lookahead is enforced on
+the explicit cross-domain channel (:meth:`Environment.cross_timeout`):
+a send below the declared minimum raises :class:`LookaheadViolation`.
+This is the machine-checked form of the forward-in-time causality
+assumption the Borrill critique attacks -- the kernel *states* the
+windows it relies on and refuses inputs that break them, instead of
+assuming them silently.
 """
 
 from __future__ import annotations
 
+import os
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
 from typing import Any, Dict, List, Mapping, Optional, Tuple
@@ -60,6 +105,50 @@ from repro.sim.events import Event, NORMAL, RearmableTimer, Timeout
 from repro.sim.wheel import (MIN_COARSE_DELAY, MIN_WHEEL_DELAY, TimerWheel)
 
 _INF = float("inf")
+
+#: Environment variable pinning the exact-order merge (no window
+#: batching). Differential-testing escape hatch, mirroring
+#: REPRO_NO_PARTITION / REPRO_NO_TIMER_WHEEL.
+_NO_BATCH_ENV = "REPRO_NO_WINDOW_BATCH"
+
+#: Environment variable controlling the thread-pool window executor:
+#: unset/"auto" enables it only on free-threaded builds; "0" disables;
+#: "force" submits windows concurrently even under the GIL; any other
+#: truthy value enables the executor (concurrent only when
+#: free-threaded, serialized submission otherwise).
+_PARALLEL_ENV = "REPRO_PARALLEL_DOMAINS"
+
+#: Cancel-backlog size that triggers a bulk purge of cancelled wheel
+#: entries at a window close (see ``Environment.cancelled_purged``).
+_PURGE_BACKLOG = 64
+
+#: Per-window sequence-number block size for concurrent rounds: each
+#: window allocates seqs from a disjoint block so no two threads touch
+#: ``env._seq``. Far larger than any window can dispatch.
+_SEQ_STRIDE = 1 << 20
+
+
+def _gil_enabled() -> bool:
+    """True on GIL builds (concurrent window dispatch needs no-GIL)."""
+    check = getattr(sys, "_is_gil_enabled", None)
+    return True if check is None else bool(check())
+
+
+#: Process-wide window executor, created lazily at the first threaded
+#: round and shared by every engine (rounds are synchronous within a
+#: run, so sharing is safe and avoids leaking a pool per Environment).
+_pool: Optional[ThreadPoolExecutor] = None
+_pool_lock = threading.Lock()
+
+
+def _window_pool(workers: int) -> ThreadPoolExecutor:
+    global _pool
+    with _pool_lock:
+        if _pool is None or _pool._max_workers < workers:
+            _pool = ThreadPoolExecutor(
+                max_workers=max(workers, 2),
+                thread_name_prefix="repro-domain")
+        return _pool
 
 #: Sentinel ordering key greater than every real ``(time, ...)`` key.
 #: A 1-tuple: comparisons against real keys are decided on element 0
@@ -247,7 +336,8 @@ class PartitionObservatory:
 class Domain:
     """One timing domain's share of the event queue."""
 
-    __slots__ = ("name", "index", "queue", "wheel", "staged")
+    __slots__ = ("name", "index", "queue", "wheel", "staged", "_ran_to",
+                 "_now")
 
     def __init__(self, name: str, index: int,
                  wheel: Optional[TimerWheel]):
@@ -258,6 +348,16 @@ class Domain:
         #: Same-turn schedules made while *this* domain is dispatching;
         #: mirrors the serial kernel's staged list, per domain.
         self.staged: List[Tuple[float, int, int, Event]] = []
+        #: Highest fence this domain has verifiably drained below under
+        #: window batching (its local virtual-time floor). An ambient
+        #: insert below this is a misorder -- the event's window already
+        #: closed -- and sticky-degrades the run to exact-order merge.
+        self._ran_to = -_INF
+        #: Per-domain clock for *concurrent* window dispatch only: with
+        #: windows on separate threads, ``env._now`` cannot carry each
+        #: window's event time, so ``env.now`` reads resolve here via
+        #: the engine's thread-local window context.
+        self._now = 0.0
 
     def __repr__(self) -> str:
         return (f"<Domain {self.name!r} queue={len(self.queue)} "
@@ -275,13 +375,50 @@ class _DomainContext:
         self._prev: Optional[Domain] = None
 
     def __enter__(self):
-        self._prev = self._part.current
-        self._part.current = self._domain
+        part = self._part
+        if part._concurrent_live:
+            ctx = getattr(part._tls, "ctx", None)
+            if ctx is not None:
+                self._prev = ctx.current
+                ctx.current = self._domain
+                return self._domain.name
+        self._prev = part.current
+        part.current = self._domain
         return self._domain.name
 
     def __exit__(self, *exc):
-        self._part.current = self._prev
+        part = self._part
+        if part._concurrent_live:
+            ctx = getattr(part._tls, "ctx", None)
+            if ctx is not None:
+                ctx.current = self._prev
+                return False
+        part.current = self._prev
         return False
+
+
+class _WindowCtx:
+    """Thread-local state of one concurrently-dispatching window.
+
+    Everything a window would otherwise contend on lives here: its seq
+    block (``[seq, seq_end)``, disjoint per window), the ambient
+    routing target (``current`` -- the thread's view of
+    ``PartitionEngine.current``), heap-admission and dispatch counts
+    (merged into the environment at the barrier), and the *outbox* of
+    cross-domain inserts, applied single-threaded at the barrier.
+    """
+
+    __slots__ = ("domain", "current", "seq", "seq_end", "scheduled",
+                 "dispatched", "outbox")
+
+    def __init__(self, domain: Domain, seq: int, seq_end: int):
+        self.domain = domain
+        self.current = domain
+        self.seq = seq
+        self.seq_end = seq_end
+        self.scheduled = 0
+        self.dispatched = 0
+        self.outbox: List[Tuple[Domain, float, int, int, Event, float]] = []
 
 
 class PartitionEngine:
@@ -297,7 +434,10 @@ class PartitionEngine:
     __slots__ = ("env", "plan", "domains", "_by_name", "default", "current",
                  "_running", "_run_domain", "_bound", "cross_sends",
                  "domain_switches", "observatory", "_bound_owner",
-                 "_stall_at")
+                 "_stall_at", "batching", "threaded", "_concurrent",
+                 "_concurrent_live", "_tls", "_round_active", "_incoming",
+                 "windows_batched", "events_batched", "batch_solo",
+                 "batch_degrades", "unfenced_windows", "_fence")
 
     def __init__(self, env: Environment, plan: PartitionPlan):
         self.env = env
@@ -343,6 +483,61 @@ class PartitionEngine:
             tel.partition = self.observatory
         else:
             self.observatory = None
+        #: Window-batched dispatch (module docstring). Sticky-degradable
+        #: at runtime; tests toggle it per engine. Telemetry pins exact
+        #: order (span ordering is observable), as does REPRO_NO_WINDOW_BATCH.
+        self.batching = (tel is None
+                         and not os.environ.get(_NO_BATCH_ENV))
+        mode = os.environ.get(_PARALLEL_ENV, "").strip().lower()
+        free = not _gil_enabled()
+        if mode in ("", "auto"):
+            self.threaded = free
+            self._concurrent = free
+        elif mode in ("0", "off", "no", "false"):
+            self.threaded = False
+            self._concurrent = False
+        elif mode == "force":
+            self.threaded = True
+            self._concurrent = True
+        else:
+            self.threaded = True
+            self._concurrent = free
+        if not self.batching:
+            self.threaded = False
+        #: True only while a concurrent round's windows are in flight;
+        #: gates every thread-local redirect (scheduling, ``env.now``,
+        #: ``current``) so the serial paths pay one boolean load.
+        self._concurrent_live = False
+        self._tls = threading.local()
+        #: True while ``_run_batched`` owns the run (misorder detection
+        #: window for ambient cross-domain inserts).
+        self._round_active = False
+        #: The inline batched window's *live* fence. Set per window,
+        #: lowered by `_insert` whenever the window seeds an event into
+        #: another domain: the exact merge stops at every cross insert
+        #: (`_bound` lowering), and the batched window must stop at the
+        #: same point -- the target domain's handling of that arrival
+        #: may change shared state this window's later events read.
+        self._fence = _INF
+        #: Per-domain incoming lookahead edges, precomputed for fence
+        #: derivation: ``_incoming[d.index]`` is ``((src_index, la), ...)``
+        #: over every other domain.
+        self._incoming: List[Tuple[Tuple[int, float], ...]] = [
+            tuple((s.index, plan.window(s.name, d.name))
+                  for s in self.domains if s is not d)
+            for d in self.domains]
+        self.windows_batched = 0
+        self.events_batched = 0
+        #: Exact solo merge steps taken for commit-rule (cross-marked)
+        #: heads and fence deadlocks.
+        self.batch_solo = 0
+        #: Ambient-insert misorders detected (each sticky-degrades the
+        #: remainder of its run to the exact-order merge).
+        self.batch_degrades = 0
+        #: Exact-merge windows that ran with every other domain empty
+        #: (the single-nonempty-queue fast path: no per-event fence
+        #: comparisons).
+        self.unfenced_windows = 0
 
     # -- introspection -----------------------------------------------------
 
@@ -360,6 +555,34 @@ class PartitionEngine:
                              f"plan has {self.domain_names()}")
         return _DomainContext(self, domain)
 
+    def _ambient(self) -> Domain:
+        """The domain ambient code is executing in right now.
+
+        Inside a concurrent window that is the window's thread-local
+        ctx target; everywhere else the engine's shared routing slot.
+        """
+        if self._concurrent_live:
+            ctx = getattr(self._tls, "ctx", None)
+            if ctx is not None:
+                return ctx.current
+        return self.current
+
+    def _shared_state_touch(self) -> None:
+        """A Store/Resource was touched from a second domain.
+
+        Shared-state results are computed at call time (a ``get`` pops
+        its item the moment it runs), so cross-domain sharing is
+        ordering-sensitive in a way window batching cannot preserve.
+        Sticky-degrade to the exact-order merge; mid-round the current
+        round still completes (best-effort, same as the ambient-insert
+        degrade).
+        """
+        if self.batching:
+            self.batching = False
+            self.threaded = False
+            if self._round_active:
+                self.batch_degrades += 1
+
     # -- scheduling --------------------------------------------------------
 
     def _insert(self, domain: Domain, when: float, priority: int, seq: int,
@@ -375,6 +598,9 @@ class PartitionEngine:
         env = self.env
         wheel = domain.wheel
         if wheel is not None and delay >= MIN_WHEEL_DELAY:
+            # Wheel inserts can never misorder a batched round: the
+            # minimum wheel delay (4096 ns) exceeds every fence's
+            # lookahead credit, so `when` is beyond any _ran_to.
             wheel.insert(when, priority, seq, event,
                          delay >= MIN_COARSE_DELAY)
             if self._running and domain is not self._run_domain:
@@ -382,6 +608,8 @@ class PartitionEngine:
                 if start < self._bound[0]:
                     self._bound = (start, -1, -1)
                     self._bound_owner = domain
+                if when < self._fence:
+                    self._fence = when
             return
         entry = (when, priority, seq, event)
         if self._running and domain is self._run_domain:
@@ -389,20 +617,85 @@ class PartitionEngine:
             return
         env.events_scheduled += 1
         heappush(domain.queue, entry)
-        if self._running and entry < self._bound:
-            self._bound = entry
-            self._bound_owner = domain
+        if self._running:
+            if entry < self._bound:
+                self._bound = entry
+                self._bound_owner = domain
+            if when < self._fence:
+                # Cross-window insert (this branch is only reachable
+                # for a non-running target domain): close the running
+                # batched window at the arrival time, mirroring the
+                # exact merge's bound lowering.
+                self._fence = when
+            if self._round_active and when < domain._ran_to:
+                # Ambient insert below a fence its target already
+                # drained past: the domain-partitioned contract was
+                # broken in a way batching cannot hide. Degrade the
+                # rest of the run to the exact-order merge (sticky --
+                # the missed window cannot be re-opened).
+                self.batch_degrades += 1
+                self.batching = False
 
     def schedule(self, event: Event, priority: int, delay: float) -> None:
         """`Environment._schedule` under partitioning: route to current."""
+        if self._concurrent_live:
+            ctx = getattr(self._tls, "ctx", None)
+            if ctx is not None:
+                self._schedule_mt(ctx, event, priority, delay)
+                return
         env = self.env
         env._seq += 1
-        self._insert(self.current, env._now + delay, priority, env._seq,
+        domain = self.current
+        if self._running and domain is self._run_domain:
+            # Inline of _insert's running-domain cases (wheel file or
+            # staged append, no bound/fence updates needed) -- the
+            # overwhelmingly common path while a window drains.
+            wheel = domain.wheel
+            if wheel is not None and delay >= MIN_WHEEL_DELAY:
+                wheel.insert(env._now + delay, priority, env._seq, event,
+                             delay >= MIN_COARSE_DELAY)
+            else:
+                domain.staged.append(
+                    (env._now + delay, priority, env._seq, event))
+            return
+        self._insert(domain, env._now + delay, priority, env._seq,
                      event, delay)
+
+    def _schedule_mt(self, ctx: _WindowCtx, event: Event, priority: int,
+                     delay: float) -> None:
+        """Schedule from inside a concurrently-dispatching window.
+
+        Seqs come from the window's disjoint block; time flows from the
+        window's own clock. Same-domain entries are staged (the domain
+        *is* running) or filed in its wheel -- both thread-private;
+        anything else goes to the outbox for the barrier.
+        """
+        ctx.seq += 1
+        seq = ctx.seq
+        if seq >= ctx.seq_end:
+            raise RuntimeError(
+                "concurrent window exhausted its sequence block")
+        domain = ctx.domain
+        when = domain._now + delay
+        target = ctx.current
+        if target is domain:
+            wheel = domain.wheel
+            if wheel is not None and delay >= MIN_WHEEL_DELAY:
+                wheel.insert(when, priority, seq, event,
+                             delay >= MIN_COARSE_DELAY)
+            else:
+                domain.staged.append((when, priority, seq, event))
+            return
+        ctx.outbox.append((target, when, priority, seq, event, delay))
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """`Environment.timeout` under partitioning (freelist + route)."""
         env = self.env
+        if self._concurrent_live and getattr(self._tls, "ctx", None) \
+                is not None:
+            # Concurrent window: the freelist is shared (racy); a fresh
+            # allocation routes through _schedule_mt via __init__.
+            return Timeout(env, delay, value)
         pool = env._timeout_pool
         if pool:
             if delay < 0:
@@ -414,9 +707,22 @@ class PartitionEngine:
             timer._ok = True
             timer._defused = False
             timer._cancelled = False
+            timer._cross = False
             env._seq += 1
-            self._insert(self.current, env._now + delay, NORMAL, env._seq,
-                         timer, delay)
+            domain = self.current
+            if self._running and domain is self._run_domain:
+                # Same inline as schedule(): running-domain timers are
+                # the hottest insert in every experiment.
+                wheel = domain.wheel
+                if wheel is not None and delay >= MIN_WHEEL_DELAY:
+                    wheel.insert(env._now + delay, NORMAL, env._seq,
+                                 timer, delay >= MIN_COARSE_DELAY)
+                else:
+                    domain.staged.append(
+                        (env._now + delay, NORMAL, env._seq, timer))
+            else:
+                self._insert(domain, env._now + delay, NORMAL, env._seq,
+                             timer, delay)
             return timer
         return Timeout(env, delay, value)
 
@@ -427,8 +733,12 @@ class PartitionEngine:
         if target is None:
             raise ValueError(f"unknown domain {dst!r}; "
                              f"plan has {self.domain_names()}")
-        src = self.current
-        if target is not src:
+        ctx = None
+        if self._concurrent_live:
+            ctx = getattr(self._tls, "ctx", None)
+        src = ctx.current if ctx is not None else self.current
+        cross = target is not src
+        if cross:
             window = self.plan.window(src.name, dst)
             if delay < window:
                 raise LookaheadViolation(
@@ -438,12 +748,25 @@ class PartitionEngine:
             self.cross_sends += 1
             if self.observatory is not None:
                 self.observatory.record_cross(src.name, dst)
-        prev = self.current
-        self.current = target
-        try:
-            return self.timeout(delay, value)
-        finally:
-            self.current = prev
+        if ctx is not None:
+            prev = ctx.current
+            ctx.current = target
+            try:
+                timer = Timeout(self.env, delay, value)
+            finally:
+                ctx.current = prev
+        else:
+            prev = self.current
+            self.current = target
+            try:
+                timer = self.timeout(delay, value)
+            finally:
+                self.current = prev
+        if cross:
+            # Commit rule: the receipt could observe sender-domain
+            # state, so it must never dispatch inside a batched window.
+            timer._cross = True
+        return timer
 
     def _push_rearmed(self, domain: Domain, surfaced_at: float,
                       priority: int, event: RearmableTimer) -> None:
@@ -670,6 +993,536 @@ class PartitionEngine:
         finally:
             env.events_dispatched += dispatched
 
+    def _run_inner_unfenced(self, domain: Domain, stop_at: float) -> None:
+        """`_run_inner` when every other domain is empty: no fence.
+
+        The single-nonempty-queue fast path of the exact-order merge.
+        With the runner-up bound at :data:`_INF_KEY` no candidate can
+        ever reach it, so the per-event bound comparisons are dead
+        weight -- this loop drops them and instead watches for the
+        bound *object* changing (a cross-domain insert re-arming the
+        fence), handing back to the fenced merge the moment it does.
+        Dispatch order is identical to the fenced loop's
+        (``tests/test_partition.py`` pins it).
+        """
+        env = self.env
+        queue = domain.queue
+        staged = domain.staged
+        wheel = domain.wheel
+        pool = env._timeout_pool
+        pop = heappop
+        timeout_type = Timeout
+        rearm_type = RearmableTimer
+        self._run_domain = domain
+        self.current = domain
+        dispatched = 0
+        try:
+            while True:
+                if self._bound is not _INF_KEY:
+                    # Another domain is live again (cross insert):
+                    # resume the fenced merge. Staged entries must be
+                    # promoted first or the outer _select never sees
+                    # them.
+                    if staged:
+                        self._flush_staged(domain)
+                    return
+                entry = None
+                if staged:
+                    cand = staged[0] if len(staged) == 1 else min(staged)
+                    if wheel is not None and wheel._next_start <= cand[0]:
+                        self._flush_staged(domain)
+                    elif queue and queue[0] < cand:
+                        self._flush_staged(domain)
+                    elif cand[0] > stop_at:
+                        self._flush_staged(domain)
+                        return
+                    else:
+                        if len(staged) == 1:
+                            del staged[:]
+                        else:
+                            staged.remove(cand)
+                        event = cand[3]
+                        if event._cancelled:
+                            if type(event) is timeout_type \
+                                    and len(pool) < _POOL_MAX:
+                                pool.append(event)
+                            elif type(event) is rearm_type:
+                                event._has_entry = False
+                            continue
+                        if type(event) is rearm_type \
+                                and event._rearm_seq != cand[2]:
+                            self._push_rearmed(domain, cand[0], cand[1],
+                                               event)
+                            continue
+                        entry = cand
+                if entry is None:
+                    if queue:
+                        head_time = queue[0][0]
+                        if (wheel is not None
+                                and wheel._next_start <= head_time):
+                            self._promote_domain(domain, stop_at)
+                            head_time = queue[0][0] if queue else _INF
+                        if head_time > stop_at:
+                            return
+                    else:
+                        if wheel is not None \
+                                and wheel._next_start <= stop_at:
+                            self._promote_domain(domain, stop_at)
+                        if not queue or queue[0][0] > stop_at:
+                            return
+                    cand = pop(queue)
+                    event = cand[3]
+                    if event._cancelled:
+                        if type(event) is timeout_type \
+                                and len(pool) < _POOL_MAX:
+                            pool.append(event)
+                        elif type(event) is rearm_type:
+                            event._has_entry = False
+                        continue
+                    if type(event) is rearm_type \
+                            and event._rearm_seq != cand[2]:
+                        self._push_rearmed(domain, cand[0], cand[1], event)
+                        continue
+                    entry = cand
+                env._now = entry[0]
+                dispatched += 1
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    # A failure nobody waited on: surface it.
+                    exc = event._value
+                    raise type(exc)(*exc.args) from exc
+                if type(event) is timeout_type and len(pool) < _POOL_MAX:
+                    pool.append(event)
+                elif type(event) is rearm_type:
+                    event._has_entry = False
+        finally:
+            env.events_dispatched += dispatched
+
+    # -- window-batched dispatch -------------------------------------------
+
+    def _run_window(self, domain: Domain, fence: float,
+                    stop_at: float) -> int:
+        """Drain ``domain`` strictly below its ``fence`` (batched mode).
+
+        The serial kernel's inline loop with a *float* fence compare in
+        place of the merge's ordering-key bound: every event with
+        ``time < fence`` (and ``<= stop_at``) is provably independent
+        of every other domain this round, so no other queue is
+        consulted. A cross-marked head (commit rule) closes the window
+        with the event left in place; ``_ran_to`` then records how far
+        the domain verifiably drained. Returns the dispatch count.
+        """
+        env = self.env
+        queue = domain.queue
+        staged = domain.staged
+        wheel = domain.wheel
+        pool = env._timeout_pool
+        pop = heappop
+        timeout_type = Timeout
+        rearm_type = RearmableTimer
+        self._run_domain = domain
+        self.current = domain
+        self._fence = fence
+        dispatched = 0
+        try:
+            while True:
+                entry = None
+                if staged:
+                    cand = staged[0] if len(staged) == 1 else min(staged)
+                    if wheel is not None and wheel._next_start <= cand[0]:
+                        self._flush_staged(domain)
+                    elif queue and queue[0] < cand:
+                        self._flush_staged(domain)
+                    elif cand[0] >= self._fence or cand[0] > stop_at:
+                        self._flush_staged(domain)
+                        break
+                    else:
+                        if len(staged) == 1:
+                            del staged[:]
+                        else:
+                            staged.remove(cand)
+                        event = cand[3]
+                        if event._cancelled:
+                            if type(event) is timeout_type \
+                                    and len(pool) < _POOL_MAX:
+                                pool.append(event)
+                            elif type(event) is rearm_type:
+                                event._has_entry = False
+                            continue
+                        if type(event) is rearm_type \
+                                and event._rearm_seq != cand[2]:
+                            self._push_rearmed(domain, cand[0], cand[1],
+                                               event)
+                            continue
+                        entry = cand
+                if entry is None:
+                    if queue:
+                        head_time = queue[0][0]
+                        if (wheel is not None
+                                and wheel._next_start <= head_time):
+                            self._promote_domain(domain, stop_at)
+                            head_time = queue[0][0] if queue else _INF
+                        if head_time >= self._fence or head_time > stop_at:
+                            break
+                    else:
+                        if wheel is not None \
+                                and wheel._next_start <= stop_at:
+                            self._promote_domain(domain, stop_at)
+                        if not queue or queue[0][0] >= self._fence \
+                                or queue[0][0] > stop_at:
+                            break
+                    cand = queue[0]
+                    event = cand[3]
+                    if event._cancelled:
+                        pop(queue)
+                        if type(event) is timeout_type \
+                                and len(pool) < _POOL_MAX:
+                            pool.append(event)
+                        elif type(event) is rearm_type:
+                            event._has_entry = False
+                        continue
+                    if type(event) is rearm_type \
+                            and event._rearm_seq != cand[2]:
+                        pop(queue)
+                        self._push_rearmed(domain, cand[0], cand[1], event)
+                        continue
+                    if event._cross:
+                        # Commit rule: dispatched only as the exact
+                        # global minimum (solo step), never in-window.
+                        if cand[0] < self._fence:
+                            self._fence = cand[0]
+                        break
+                    pop(queue)
+                    entry = cand
+                env._now = entry[0]
+                dispatched += 1
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    # A failure nobody waited on: surface it.
+                    exc = event._value
+                    raise type(exc)(*exc.args) from exc
+                if type(event) is timeout_type and len(pool) < _POOL_MAX:
+                    pool.append(event)
+                elif type(event) is rearm_type:
+                    event._has_entry = False
+        finally:
+            env.events_dispatched += dispatched
+            self._run_domain = None
+            # The verifiable drain limit: the (possibly lowered) fence,
+            # capped at the stop point. Everything strictly below is
+            # dispatched; later inserts below it are misorders.
+            drained_to = self._fence if self._fence <= stop_at else stop_at
+            self._fence = _INF
+            if drained_to > domain._ran_to:
+                domain._ran_to = drained_to
+        return dispatched
+
+    def _run_window_mt(self, ctx: _WindowCtx, fence: float,
+                       stop_at: float) -> None:
+        """One window on a pool thread, concurrently with its siblings.
+
+        Shares no mutable environment state with other windows: time
+        goes to ``domain._now`` (``env.now`` resolves there through the
+        engine's thread-local), scheduling goes through
+        :meth:`_schedule_mt`, counters accumulate on the ctx, and the
+        freelist is bypassed. The fence is additionally capped at the
+        domain's next wheel-bucket start -- promotion mutates shared
+        counters, so concurrent windows leave it to the next round
+        barrier (single-threaded), at the cost of a shorter window.
+        """
+        domain = ctx.domain
+        queue = domain.queue
+        staged = domain.staged
+        wheel = domain.wheel
+        rearm_type = RearmableTimer
+        pop = heappop
+        if wheel is not None and wheel._count \
+                and wheel._next_start < fence:
+            fence = wheel._next_start
+        self._tls.ctx = ctx
+        dispatched = 0
+        drained_to = fence if fence <= stop_at else stop_at
+        try:
+            while True:
+                entry = None
+                if staged:
+                    cand = staged[0] if len(staged) == 1 else min(staged)
+                    if queue and queue[0] < cand:
+                        self._flush_staged_mt(ctx)
+                    elif cand[0] >= fence or cand[0] > stop_at:
+                        self._flush_staged_mt(ctx)
+                        break
+                    else:
+                        if len(staged) == 1:
+                            del staged[:]
+                        else:
+                            staged.remove(cand)
+                        event = cand[3]
+                        if event._cancelled:
+                            if type(event) is rearm_type:
+                                event._has_entry = False
+                            continue
+                        if type(event) is rearm_type \
+                                and event._rearm_seq != cand[2]:
+                            self._push_rearmed_mt(ctx, cand[0], cand[1],
+                                                  event)
+                            continue
+                        entry = cand
+                if entry is None:
+                    if not queue or queue[0][0] >= fence \
+                            or queue[0][0] > stop_at:
+                        break
+                    cand = queue[0]
+                    event = cand[3]
+                    if event._cancelled:
+                        pop(queue)
+                        if type(event) is rearm_type:
+                            event._has_entry = False
+                        continue
+                    if type(event) is rearm_type \
+                            and event._rearm_seq != cand[2]:
+                        pop(queue)
+                        self._push_rearmed_mt(ctx, cand[0], cand[1], event)
+                        continue
+                    if event._cross:
+                        drained_to = cand[0]
+                        break
+                    pop(queue)
+                    entry = cand
+                domain._now = entry[0]
+                dispatched += 1
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    exc = event._value
+                    raise type(exc)(*exc.args) from exc
+                if type(event) is rearm_type:
+                    event._has_entry = False
+        finally:
+            ctx.dispatched = dispatched
+            self._tls.ctx = None
+            if drained_to > domain._ran_to:
+                domain._ran_to = drained_to
+
+    def _flush_staged_mt(self, ctx: _WindowCtx) -> None:
+        staged = ctx.domain.staged
+        if staged:
+            queue = ctx.domain.queue
+            for entry in staged:
+                heappush(queue, entry)
+            ctx.scheduled += len(staged)
+            del staged[:]
+
+    def _push_rearmed_mt(self, ctx: _WindowCtx, surfaced_at: float,
+                         priority: int, event: RearmableTimer) -> None:
+        fire_at = event._fire_at
+        wheel = ctx.domain.wheel
+        if wheel is not None and fire_at - surfaced_at >= MIN_WHEEL_DELAY:
+            wheel.insert(fire_at, priority, event._rearm_seq, event,
+                         fire_at - surfaced_at >= MIN_COARSE_DELAY)
+        else:
+            ctx.scheduled += 1
+            heappush(ctx.domain.queue,
+                     (fire_at, priority, event._rearm_seq, event))
+        event._entry_at = fire_at
+
+    def _run_round_threaded(self, runnable: List[Domain],
+                            fences: List[float], stop_at: float) -> int:
+        """Execute one round's windows through the thread pool."""
+        env = self.env
+        ex = _window_pool(len(self.domains))
+        if not self._concurrent or env.faults is not None:
+            # GIL build (or fault-injected run, whose injector RNG is
+            # shared state): serialized submission -- same plumbing and
+            # barrier, no data races, byte-identical to inline windows.
+            dispatched = 0
+            for domain in runnable:
+                dispatched += ex.submit(
+                    self._run_window, domain, fences[domain.index],
+                    stop_at).result()
+            return dispatched
+        base = env._seq
+        now0 = env._now
+        ctxs: List[_WindowCtx] = []
+        for k, domain in enumerate(runnable):
+            domain._now = now0
+            ctxs.append(_WindowCtx(domain, base + k * _SEQ_STRIDE,
+                                   base + (k + 1) * _SEQ_STRIDE))
+        env._seq = base + len(ctxs) * _SEQ_STRIDE
+        self._concurrent_live = True
+        errors: List[BaseException] = []
+        try:
+            futures = [ex.submit(self._run_window_mt, ctx,
+                                 fences[ctx.domain.index], stop_at)
+                       for ctx in ctxs]
+            for future in futures:   # the round barrier, in domain order
+                try:
+                    future.result()
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+        finally:
+            self._concurrent_live = False
+        dispatched = 0
+        scheduled = 0
+        latest = env._now
+        for ctx in ctxs:
+            dispatched += ctx.dispatched
+            scheduled += ctx.scheduled
+            if ctx.dispatched and ctx.domain._now > latest:
+                latest = ctx.domain._now
+        env.events_dispatched += dispatched
+        env.events_scheduled += scheduled
+        env._now = latest
+        # Apply the outboxes single-threaded: cross-domain inserts made
+        # by the windows land in their target heaps (or wheels) here,
+        # under the seqs their windows allocated.
+        for ctx in ctxs:
+            for target, when, priority, seq, event, delay in ctx.outbox:
+                self._insert(target, when, priority, seq, event, delay)
+        if errors:
+            raise errors[0]
+        return dispatched
+
+    def _dispatch_solo(self, stop_at: float) -> bool:
+        """One exact-order merge step: dispatch the global minimum.
+
+        The commit rule's serialization point -- cross-marked events
+        (and fence-deadlocked ties) dispatch here, with every earlier
+        event in every domain already committed.
+        """
+        sel = self._select(stop_at)
+        if sel is None:
+            return False
+        domain = sel[0]
+        entry = heappop(domain.queue)
+        event = entry[3]
+        self.current = domain
+        self.domain_switches += 1
+        env = self.env
+        env._now = entry[0]
+        env.events_dispatched += 1
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            exc = event._value
+            raise type(exc)(*exc.args) from exc
+        env._recycle(event)
+        return True
+
+    def _purge_cancelled(self) -> None:
+        """Bulk-drop cancelled wheel entries (window-close purge)."""
+        env = self.env
+        dropped = 0
+        for domain in self.domains:
+            wheel = domain.wheel
+            if wheel is not None and wheel._count:
+                dropped += wheel.purge_cancelled(env)
+        env.cancelled_purged += dropped
+        env._cancel_backlog = 0
+
+    def _run_batched(self, stop_at: float) -> bool:
+        """Window-batched rounds until drained; False on sticky degrade.
+
+        Each round: (1) promote due wheel buckets and read every
+        domain's cleaned head (exact heap entries, so cross marks are
+        visible); (2) derive per-domain fences from the round-start
+        heads -- a cross-marked head publishes *no* lookahead credit;
+        (3) drain every domain whose head is strictly below its fence
+        (inline, or through the thread pool); (4) if nothing could run,
+        take one exact solo merge step for the global minimum. The
+        barrier between rounds is the only cross-domain
+        synchronization.
+        """
+        env = self.env
+        domains = self.domains
+        incoming = self._incoming
+        n = len(domains)
+        heads = [_INF] * n
+        crossed = [False] * n
+        fences = [0.0] * n
+        threaded = self.threaded
+        max_now = env._now
+        self._round_active = True
+        try:
+            while True:
+                if not self.batching:
+                    if max_now > env._now:
+                        env._now = max_now
+                    return False
+                any_due = False
+                for domain in domains:
+                    wheel = domain.wheel
+                    if wheel is not None and wheel._count \
+                            and wheel._next_start <= stop_at:
+                        queue = domain.queue
+                        if not queue or wheel._next_start <= queue[0][0]:
+                            self._promote_domain(domain, stop_at)
+                    key = self._head_bound(domain)
+                    heads[domain.index] = key[0]
+                    crossed[domain.index] = (len(key) == 4
+                                             and key[3]._cross)
+                    # `is not _INF_KEY`: an empty domain must never
+                    # count as due -- with no `until` the stop point is
+                    # +inf and `inf <= inf` would spin forever.
+                    if key is not _INF_KEY and key[0] <= stop_at:
+                        any_due = True
+                if not any_due:
+                    if max_now > env._now:
+                        env._now = max_now
+                    return True
+                runnable = None
+                for domain in domains:
+                    i = domain.index
+                    head = heads[i]
+                    if head > stop_at or crossed[i]:
+                        continue
+                    fence = _INF
+                    for s, la in incoming[i]:
+                        hs = heads[s] if crossed[s] else heads[s] + la
+                        if hs < fence:
+                            fence = hs
+                    if head < fence:
+                        fences[i] = fence
+                        if runnable is None:
+                            runnable = [domain]
+                        else:
+                            runnable.append(domain)
+                if runnable is None:
+                    # Every due head is cross-marked or fence-tied:
+                    # serialize one event through the exact merge.
+                    self.batch_solo += 1
+                    self._dispatch_solo(stop_at)
+                else:
+                    if threaded and len(runnable) > 1:
+                        dispatched = self._run_round_threaded(
+                            runnable, fences, stop_at)
+                    else:
+                        dispatched = 0
+                        for domain in runnable:
+                            dispatched += self._run_window(
+                                domain, fences[domain.index], stop_at)
+                    self.domain_switches += len(runnable)
+                    self.windows_batched += len(runnable)
+                    self.events_batched += dispatched
+                    if dispatched == 0:
+                        # Heads vanished mid-round (cancelled by an
+                        # earlier window): fall back to one solo step
+                        # so the round provably progresses.
+                        self.batch_solo += 1
+                        self._dispatch_solo(stop_at)
+                if env._now > max_now:
+                    max_now = env._now
+                if env._cancel_backlog >= _PURGE_BACKLOG:
+                    self._purge_cancelled()
+        finally:
+            self._round_active = False
+
     def run(self, until: Any, stop_at: float) -> Any:
         """`Environment.run` under partitioning: merge across domains."""
         env = self.env
@@ -693,6 +1546,16 @@ class PartitionEngine:
         self._bound = _INF_KEY
         obs = self.observatory
         try:
+            if (self.batching and obs is None
+                    and env.telemetry is None
+                    and not isinstance(until, Event)):
+                # Window-batched dispatch. Event-untils stay on the
+                # exact merge (the stop point is ordering-sensitive),
+                # as do telemetry-instrumented runs (span order is
+                # observable). Returns False on sticky degrade, and
+                # the exact merge below finishes the run.
+                if self._run_batched(stop_at):
+                    return env._finish_run(until, stop_at)
             while True:
                 sel = self._select(stop_at)
                 if sel is None:
@@ -702,7 +1565,15 @@ class PartitionEngine:
                 self._bound_owner = second_owner
                 self.domain_switches += 1
                 if obs is None:
-                    self._run_inner(domain, stop_at)
+                    if second is _INF_KEY:
+                        # Single-nonempty-queue fast path: no other
+                        # domain holds anything, so run unfenced.
+                        self.unfenced_windows += 1
+                        self._run_inner_unfenced(domain, stop_at)
+                    else:
+                        self._run_inner(domain, stop_at)
+                    if env._cancel_backlog >= _PURGE_BACKLOG:
+                        self._purge_cancelled()
                     continue
                 self._stall_at = _INF
                 window_from = env._now

@@ -1,4 +1,16 @@
-"""Inter-process communication and mutual exclusion primitives."""
+"""Inter-process communication and mutual exclusion primitives.
+
+Partitioned-engine note: a :class:`Store`/:class:`Resource` is plain
+shared Python state. Its *results* are computed at call time (``get``
+pops the item the moment it is called), so a store touched from two
+timing domains is ordering-sensitive in a way the window-batched
+engine cannot preserve event-by-event. Each primitive therefore tracks
+the domain that first touched it; the first touch from a *different*
+domain sticky-degrades the run to the exact-order merge (the
+shared-resource-wait arm of the commit rule -- see
+``repro.sim.partition``). Single-domain stores, the common
+producer/consumer case, batch freely.
+"""
 
 from __future__ import annotations
 
@@ -8,7 +20,25 @@ from typing import Any, Deque
 from repro.sim.events import Event
 
 
-class Store:
+class _SharedGuard:
+    """Owner-domain tracking shared by Store and Resource."""
+
+    def __init__(self, env):
+        self.env = env
+        self._domain = None
+
+    def _guard(self) -> None:
+        part = self.env._partition
+        if part is None or not part.batching:
+            return
+        owner = part._ambient()
+        if self._domain is None:
+            self._domain = owner
+        elif owner is not self._domain:
+            part._shared_state_touch()
+
+
+class Store(_SharedGuard):
     """An unbounded (or bounded) FIFO channel between processes.
 
     ``put`` returns an event that succeeds once the item is stored;
@@ -19,7 +49,7 @@ class Store:
     def __init__(self, env, capacity: float = float("inf")):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
-        self.env = env
+        super().__init__(env)
         self.capacity = capacity
         self.items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
@@ -30,6 +60,7 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Store ``item``; blocks (pending event) if at capacity."""
+        self._guard()
         event = Event(self.env)
         if len(self.items) < self.capacity:
             self._deposit(item)
@@ -40,6 +71,7 @@ class Store:
 
     def get(self) -> Event:
         """Retrieve the oldest item, waiting if the store is empty."""
+        self._guard()
         event = Event(self.env)
         if self.items:
             event.succeed(self.items.popleft())
@@ -66,13 +98,13 @@ class Store:
             putter.succeed()
 
 
-class Resource:
+class Resource(_SharedGuard):
     """A counted resource (semaphore) with FIFO granting."""
 
     def __init__(self, env, capacity: int = 1):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
-        self.env = env
+        super().__init__(env)
         self.capacity = capacity
         self.in_use = 0
         self._waiters: Deque[Event] = deque()
@@ -84,6 +116,7 @@ class Resource:
 
     def acquire(self) -> Event:
         """Request one unit; the event succeeds when granted."""
+        self._guard()
         event = Event(self.env)
         if self.in_use < self.capacity:
             self.in_use += 1
@@ -94,6 +127,7 @@ class Resource:
 
     def release(self) -> None:
         """Return one unit, waking the oldest waiter if any."""
+        self._guard()
         if self.in_use <= 0:
             raise RuntimeError("release() without matching acquire()")
         while self._waiters:

@@ -206,6 +206,44 @@ class TimerWheel:
                 self._count += 1
             self.next_start()
 
+    def purge_cancelled(self, env) -> int:
+        """Bulk-drop every cancelled entry parked in any bucket.
+
+        Promotion already drops dead entries bucket-by-bucket as buckets
+        come due, but a cancelled far timer otherwise sits in its bucket
+        until then -- and the batched partition engine would re-scan it
+        at every window close when sizing windows. Called by the engine
+        once the cancel backlog crosses a threshold; empty buckets are
+        deleted (their index-heap entries die lazily in :meth:`_head`,
+        same as after promotion). Returns the number dropped.
+        """
+        dropped = 0
+        for buckets in (self._fine, self._coarse):
+            dead = None
+            for idx, bucket in buckets.items():
+                live = [e for e in bucket if not e[3]._cancelled]
+                removed = len(bucket) - len(live)
+                if not removed:
+                    continue
+                dropped += removed
+                for entry in bucket:
+                    if entry[3]._cancelled:
+                        env._recycle(entry[3])
+                if live:
+                    buckets[idx] = live
+                else:
+                    if dead is None:
+                        dead = []
+                    dead.append(idx)
+            if dead:
+                for idx in dead:
+                    del buckets[idx]
+        if dropped:
+            self._count -= dropped
+            self.dropped_cancelled += dropped
+            self.next_start()
+        return dropped
+
     def earliest_deadline(self) -> float:
         """Earliest *live* deadline filed anywhere in the wheel (+inf if
         none). O(n) scan -- used by ``Environment.peek`` only."""

@@ -22,7 +22,8 @@ class ClosedLoopLoadGen:
                  n_clients: int,
                  submit: Callable[[Request], object],
                  think_ns: float = 0.0,
-                 seed: int = 1, warmup_ns: float = 0.0):
+                 seed: int = 1, warmup_ns: float = 0.0,
+                 rng: Optional[random.Random] = None):
         if n_clients <= 0:
             raise ValueError("need at least one client")
         if think_ns < 0:
@@ -32,7 +33,9 @@ class ClosedLoopLoadGen:
         self.n_clients = n_clients
         self.submit = submit
         self.think_ns = think_ns
-        self.rng = random.Random(seed)
+        # Accepts a named stream (``repro.sim.rngs``); the ``seed``
+        # default stays byte-identical for existing callers.
+        self.rng = rng if rng is not None else random.Random(seed)
         self.warmup_ns = warmup_ns
         self.requests: List[Request] = []
         self.generated = 0

@@ -21,7 +21,8 @@ class PoissonLoadGen:
     def __init__(self, env: Environment, model: RocksDbModel,
                  rate_per_sec: float,
                  submit: Callable[[Request], object],
-                 seed: int = 1, warmup_ns: float = 0.0):
+                 seed: int = 1, warmup_ns: float = 0.0,
+                 rng: Optional[random.Random] = None):
         if rate_per_sec <= 0:
             raise ValueError("rate must be positive")
         self.env = env
@@ -29,7 +30,13 @@ class PoissonLoadGen:
         self.rate_per_sec = rate_per_sec
         self.mean_gap_ns = 1e9 / rate_per_sec
         self.submit = submit
-        self.rng = random.Random(seed)
+        # ``rng`` lets a caller hand in a named stream from
+        # ``repro.sim.rngs.RngStreams`` (e.g. ``streams.stream("load")``)
+        # so arrival draws are isolated from every other component's;
+        # the ``seed`` default is pinned by the golden digest and must
+        # keep producing the same sequence. Same pattern as
+        # ``RocksDbModel(rng=...)``.
+        self.rng = rng if rng is not None else random.Random(seed)
         self.warmup_ns = warmup_ns
         self.generated = 0
         self.requests = []

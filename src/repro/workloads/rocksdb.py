@@ -66,7 +66,13 @@ class Request:
 
 
 class RocksDbModel:
-    """Generates requests with the paper's GET/RANGE mix."""
+    """Generates requests with the paper's GET/RANGE mix.
+
+    ``rng`` may be any ``random.Random`` -- including a named stream
+    from :class:`repro.sim.rngs.RngStreams`, which keeps this model's
+    draw sequence independent of every other component's regardless of
+    how the window-batched partition engine interleaves domains.
+    """
 
     def __init__(self, range_fraction: float = 0.0,
                  get_service_ns: float = GET_SERVICE_NS,

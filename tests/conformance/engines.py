@@ -91,6 +91,14 @@ def _partitioned(names, window, use_wheel=None):
         installed = env.enable_partition(
             PartitionPlan.uniform(names, window), use_partition=True)
         assert installed is not None
+        # The generated conformance programs share mutable state across
+        # domains and assert raw dispatch-order identity against the
+        # serial kernel -- the exact-order merge's contract. Window
+        # batching deliberately relaxes same-time cross-domain order,
+        # so pin it off here; BATCHED_CONFIGS covers the batched engine
+        # with order-insensitive (canonicalized) comparisons.
+        installed.batching = False
+        installed.threaded = False
         return env
     return build
 
@@ -100,7 +108,38 @@ def _partitioned_hw():
     # per-pair windows, three domains).
     env = Environment()
     plan = Interconnect(HwParams.pcie()).partition_plan()
-    assert env.enable_partition(plan, use_partition=True) is not None
+    part = env.enable_partition(plan, use_partition=True)
+    assert part is not None
+    part.batching = False
+    part.threaded = False
+    return env
+
+
+def _batched(names, window, use_wheel=None, threaded=False):
+    def build():
+        env = Environment(use_wheel=use_wheel)
+        part = env.enable_partition(
+            PartitionPlan.uniform(names, window), use_partition=True)
+        assert part is not None
+        # Force-enable so the batched path is exercised even when the
+        # CI matrix sets REPRO_NO_WINDOW_BATCH=1 for the exact configs.
+        part.batching = True
+        if threaded:
+            # REPRO_PARALLEL_DOMAINS=force semantics: concurrent
+            # windows even on a GIL build (contention, not speed --
+            # this config exists to pin determinism, not throughput).
+            part.threaded = True
+            part._concurrent = True
+        return env
+    return build
+
+
+def _batched_hw():
+    env = Environment()
+    plan = Interconnect(HwParams.pcie()).partition_plan()
+    part = env.enable_partition(plan, use_partition=True)
+    assert part is not None
+    part.batching = True
     return env
 
 
@@ -126,3 +165,17 @@ ENGINE_CONFIGS = [
 ]
 
 REFERENCE = ENGINE_CONFIGS[0]
+
+#: Window-batched engine variants. These relax same-time cross-domain
+#: dispatch order (the batched contract), so they are *not* diffed on
+#: raw logs -- ``test_rng_streams.py`` compares canonicalized
+#: (time-sorted) logs, per-stream RNG draw sequences, and dispatch
+#: counts instead.
+BATCHED_CONFIGS = [
+    EngineConfig("partition-batched", _batched(DOMAINS, 400.0),
+                 partitioned=True),
+    EngineConfig("partition-batched-hw", _batched_hw, partitioned=True),
+    EngineConfig("partition-threaded",
+                 _batched(DOMAINS, 400.0, threaded=True),
+                 partitioned=True),
+]

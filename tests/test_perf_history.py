@@ -56,12 +56,29 @@ def _stub_kernel(repeats=3):
             "runs": [{"events_scheduled": 1000, "wall_s": 0.2}]}
 
 
+def _stub_partition(repeats=3):
+    # Shape of measure_partition()'s three-engine result; the real
+    # bench takes tens of seconds per engine, so history-plumbing tests
+    # stub it (the gate logic is still exercised on these values).
+    return {"events_per_sec": 5500, "serial_events_per_sec": 5000,
+            "exact_events_per_sec": 3700,
+            "speedup_vs_serial": 1.1, "exact_speedup_vs_serial": 0.74,
+            "events_dispatched": 900, "serial_events_dispatched": 900,
+            "exact_events_dispatched": 900,
+            "events_logical": 1000, "events_scheduled": 1000,
+            "domain_switches": 40, "cross_sends": 9,
+            "windows_batched": 30, "events_batched": 800,
+            "batch_solo": 5, "batch_degrades": 0,
+            "runs": [], "exact_runs": [], "serial_runs": []}
+
+
 def test_perf_main_appends_history_across_runs(tmp_path, monkeypatch,
                                                capsys):
     """The ISSUE acceptance check: running perf twice yields a two-entry
     history, and --check still gates on the committed snapshot."""
     _stub_kernel.calls = []
     monkeypatch.setattr(perf, "measure_kernel", _stub_kernel)
+    monkeypatch.setattr(perf, "measure_partition", _stub_partition)
     # Run away from the repo root, or carry_history seeds the first run
     # from the committed BENCH_perf.json (by design).
     monkeypatch.chdir(tmp_path)

@@ -1,0 +1,67 @@
+"""Unit tests for named RNG stream derivation (``repro.sim.rngs``)."""
+
+import random
+
+import pytest
+
+from repro.sim.rngs import RngStreams, derive_seed
+
+
+def test_derive_seed_deterministic():
+    assert derive_seed(1, "a", "b") == derive_seed(1, "a", "b")
+
+
+def test_derive_seed_distinguishes_names_and_roots():
+    seeds = {derive_seed(1, "a"), derive_seed(1, "b"),
+             derive_seed(2, "a"), derive_seed(1, "a", "a"),
+             derive_seed(1)}
+    assert len(seeds) == 5
+
+
+def test_derive_seed_no_path_collisions():
+    # The '/'-join cannot be gamed into a collision: components with a
+    # slash are rejected outright.
+    with pytest.raises(ValueError):
+        derive_seed(1, "a", "b/c")
+
+
+def test_derive_seed_empty_path_is_root():
+    assert derive_seed(42) == 42
+
+
+def test_derive_seed_cross_process_stable():
+    # Pinned value: derivation must be stable across platforms and
+    # Python versions (the --jobs shard byte-identity contract). If
+    # this changes, every stream in every run changes -- bump _PERSON
+    # deliberately, never accidentally.
+    first = derive_seed(1, "nic", "arrivals")
+    assert first == 0xEB3D3559B99EBD93
+    assert 0 <= first < 2 ** 64
+
+
+def test_streams_cached_and_independent():
+    streams = RngStreams(7)
+    a = streams.stream("a")
+    assert streams.stream("a") is a
+    b = streams.stream("b")
+    assert b is not a
+    # Drawing from b never perturbs a's sequence.
+    reference = random.Random(derive_seed(7, "a"))
+    head = [a.random() for _ in range(3)]
+    [b.random() for _ in range(100)]
+    tail = [a.random() for _ in range(3)]
+    want = [reference.random() for _ in range(6)]
+    assert head + tail == want
+
+
+def test_stream_requires_a_name():
+    with pytest.raises(ValueError):
+        RngStreams(1).stream()
+
+
+def test_spawn_matches_flat_path():
+    streams = RngStreams(9)
+    child = streams.spawn("faults")
+    flat = [streams.stream("faults", "msg-drop").random() for _ in range(4)]
+    nested = [child.stream("msg-drop").random() for _ in range(4)]
+    assert flat == nested
