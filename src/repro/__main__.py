@@ -18,6 +18,11 @@ Commands::
                          per-layer blame table (Table-3-style
                          decomposition from spans alone), and the
                          partition observatory
+    timeline <experiment> run one experiment with the metric timeline
+                         sampler and emit the time-resolved view:
+                         sparkline report, SLO monitors, incident log,
+                         plus a timeline.json artifact (``--csv`` for a
+                         flat CSV; byte-identical at any ``--jobs``)
     all [--fast]         regenerate EXPERIMENTS.md
     info                 print the calibration table
     chaos                one deterministic fault-injection run
@@ -178,6 +183,39 @@ def cmd_analyze(name: str, fast: bool, out: str = None, jobs: int = None,
     return 0
 
 
+def cmd_timeline(name: str, fast: bool, out: str = None, jobs: int = None,
+                 json_path: str = None, csv_path: str = None,
+                 period_us: float = None) -> int:
+    module = _load_experiment(name)
+    if module is None:
+        return 2
+    from repro.obs import (Telemetry, TimelineConfig, timeline_report,
+                           write_timeline, write_timeline_csv)
+    specs = tuple(getattr(module, "SLO_SPECS", ()) or ())
+    kwargs = {"slo_specs": specs}
+    if period_us is not None:
+        kwargs["period_ns"] = period_us * 1e3
+    telemetry = Telemetry(timeline=TimelineConfig(**kwargs))
+    with telemetry:
+        module.run(**_run_kwargs(module, fast, jobs))
+    json_path = json_path or f"timeline_{name}.json"
+    n_runs = write_timeline(telemetry, json_path)
+    print(f"timeline: {n_runs} runs -> {json_path}", file=sys.stderr)
+    if csv_path:
+        n_rows = write_timeline_csv(telemetry, csv_path)
+        print(f"timeline csv: {n_rows} samples -> {csv_path}",
+              file=sys.stderr)
+    title = f"{name}: metric timelines"
+    text = timeline_report(telemetry, title=title)
+    if out:
+        with open(out, "w") as fh:
+            fh.write(text)
+        print(f"timeline report -> {out}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def cmd_all(fast: bool, jobs: int = None) -> int:
     from repro.bench.generate import main as generate_main
     argv = ["--fast"] if fast else []
@@ -265,6 +303,26 @@ def main(argv=None) -> int:
                            help="tail percentile whose representative "
                                 "request's critical path is rendered "
                                 "(default 99)")
+    timeline_p = sub.add_parser(
+        "timeline", help="run one experiment with the metric timeline "
+                         "sampler: sparklines, SLO monitors, incident "
+                         "log, timeline.json artifact")
+    timeline_p.add_argument("experiment")
+    timeline_p.add_argument("--fast", action="store_true")
+    timeline_p.add_argument("--out", metavar="PATH",
+                            help="write the report here instead of stdout")
+    timeline_p.add_argument("--json", metavar="PATH", default=None,
+                            help="timeline artifact path (default "
+                                 "timeline_<exp>.json)")
+    timeline_p.add_argument("--csv", metavar="PATH", default=None,
+                            help="also write every sample as flat CSV")
+    timeline_p.add_argument("--period-us", type=float, default=None,
+                            metavar="US",
+                            help="sampling period in simulated "
+                                 "microseconds (default 1000 = 1 ms)")
+    timeline_p.add_argument("--jobs", type=int, default=None, metavar="N",
+                            help="fan independent points across N "
+                                 "processes (-1 = all cores)")
     all_p = sub.add_parser("all", help="regenerate EXPERIMENTS.md")
     all_p.add_argument("--fast", action="store_true")
     all_p.add_argument("--jobs", type=int, default=None, metavar="N",
@@ -314,6 +372,10 @@ def main(argv=None) -> int:
     if args.command == "analyze":
         return cmd_analyze(args.experiment, args.fast, out=args.out,
                            jobs=args.jobs, percentile=args.percentile)
+    if args.command == "timeline":
+        return cmd_timeline(args.experiment, args.fast, out=args.out,
+                            jobs=args.jobs, json_path=args.json,
+                            csv_path=args.csv, period_us=args.period_us)
     if args.command == "all":
         return cmd_all(args.fast, jobs=args.jobs)
     if args.command == "perf":

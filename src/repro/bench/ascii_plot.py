@@ -1,58 +1,12 @@
 """ASCII rendering of latency/throughput curves.
 
-The paper's figures are latency-vs-throughput hockey sticks; this
-renders them in a terminal so the examples and benchmark harness can
-show curve *shapes*, not just knee summaries.
+The implementation moved to :mod:`repro.obs.ascii` so timeline
+sparklines and history charts share one renderer; this module re-exports
+the original names for existing imports.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from repro.obs.ascii import MARKERS, render_curves
 
-#: One marker per series, assigned in insertion order.
-MARKERS = "ox+*#@%&"
-
-
-def render_curves(series: Dict[str, List[Tuple[float, float]]],
-                  width: int = 64, height: int = 16,
-                  x_label: str = "throughput",
-                  y_label: str = "p99") -> str:
-    """Plot ``{name: [(x, y), ...]}`` as an ASCII chart.
-
-    Axes are linear and auto-scaled over all series; each series gets
-    a marker from :data:`MARKERS`; a legend follows the chart.
-    """
-    if not series:
-        raise ValueError("no series to plot")
-    points = [(x, y) for pts in series.values() for x, y in pts]
-    if not points:
-        raise ValueError("series contain no points")
-    xs = [p[0] for p in points]
-    ys = [p[1] for p in points]
-    x_lo, x_hi = min(xs), max(xs)
-    y_lo, y_hi = min(ys), max(ys)
-    x_span = (x_hi - x_lo) or 1.0
-    y_span = (y_hi - y_lo) or 1.0
-
-    grid = [[" "] * width for _ in range(height)]
-    for index, (name, pts) in enumerate(series.items()):
-        marker = MARKERS[index % len(MARKERS)]
-        for x, y in pts:
-            col = int((x - x_lo) / x_span * (width - 1))
-            row = (height - 1) - int((y - y_lo) / y_span * (height - 1))
-            grid[row][col] = marker
-
-    lines = []
-    for row_index, row in enumerate(grid):
-        prefix = f"{y_hi:>10,.0f} |" if row_index == 0 else (
-            f"{y_lo:>10,.0f} |" if row_index == height - 1 else
-            " " * 10 + " |")
-        lines.append(prefix + "".join(row))
-    lines.append(" " * 11 + "+" + "-" * width)
-    lines.append(" " * 11 + f"{x_lo:,.0f}".ljust(width // 2)
-                 + f"{x_hi:,.0f}".rjust(width // 2)
-                 + f"  ({x_label}; y={y_label})")
-    legend = "   ".join(f"{MARKERS[i % len(MARKERS)]} {name}"
-                        for i, name in enumerate(series))
-    lines.append(" " * 11 + legend)
-    return "\n".join(lines)
+__all__ = ["MARKERS", "render_curves"]

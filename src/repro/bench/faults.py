@@ -33,7 +33,9 @@ from repro.ghost.failover import FailoverManager
 from repro.hw import HwParams, Machine
 from repro.hw.pte import PteType
 from repro.obs import Telemetry
+from repro.obs.timeline import fault_incidents
 from repro.queues.dma import DmaQueue
+from repro.sched.experiment import SLO_SPECS  # noqa: F401  (timeline CLI)
 from repro.sched import FifoPolicy
 from repro.sim import Environment, FaultInjector, FaultPlan, LatencyStats
 from repro.sim.faults import (
@@ -136,6 +138,12 @@ class ChaosResult:
     dma_timeouts: int
     dma_retries: int
     injector_snapshot: str
+    #: Fault lifecycle rows rederived from ``fault.*`` spans by
+    #: :func:`repro.obs.timeline.fault_incidents` (kind / fired /
+    #: detected / recovered timestamps). Deliberately **excluded** from
+    #: :meth:`snapshot` and :meth:`digest`: incidents are a derived
+    #: view, and the chaos determinism contract pins the original dump.
+    incidents: tuple = ()
 
     def snapshot(self) -> str:
         """Byte-stable dump: equal across runs with the same seed."""
@@ -291,6 +299,10 @@ def _run_sched_chaos(plan_name: str, seed: int,
         recoveries = spans.spans("fault.recover")
         if recoveries:
             recovery = recoveries[0].duration_ns
+    incidents = tuple(
+        (row["kind"], row["fired_ns"], row["detected_ns"],
+         row["recovered_ns"])
+        for row in fault_incidents(spans))
 
     return ChaosResult(
         plan=plan_name,
@@ -311,6 +323,7 @@ def _run_sched_chaos(plan_name: str, seed: int,
         dma_timeouts=injector.dma_timeouts,
         dma_retries=machine.nic.dma.retries,
         injector_snapshot=injector.snapshot(),
+        incidents=incidents,
     )
 
 
@@ -411,6 +424,23 @@ def run(fast: bool = True, seed: int = 42,
             else "-",
             result.digest(),
         ))
+    notes = ("p99/tput compare against a fault-free run at the same "
+             "seed; detection = fault -> watchdog, recovery = watchdog "
+             "-> replacement agent running (pull-based, section 6).")
+    incident_lines = []
+    for plan_name, result in zip(PLAN_NAMES, results):
+        for kind, fired, detected, recovered in result.incidents:
+            det = (f"detected +{(detected - fired) / 1e6:.2f} ms"
+                   if detected is not None else "undetected")
+            rec = (f"recovered +{(recovered - detected) / 1e6:.2f} ms"
+                   if recovered is not None and detected is not None
+                   else "no recovery")
+            incident_lines.append(
+                f"  {plan_name}: {kind} fired at "
+                f"{fired / 1e6:.2f} ms, {det}, {rec}")
+    if incident_lines:
+        notes += ("\nincident log (fault lifecycle rederived from "
+                  "fault.* spans):\n" + "\n".join(incident_lines))
     return ExperimentReport(
         experiment_id="faults",
         title="chaos: recovery under injected faults "
@@ -418,9 +448,7 @@ def run(fast: bool = True, seed: int = 42,
         headers=("fault", "fires", "completed", "p99 (us)", "tput",
                  "detect (ms)", "recover (ms)", "digest"),
         rows=rows,
-        notes="p99/tput compare against a fault-free run at the same "
-              "seed; detection = fault -> watchdog, recovery = watchdog "
-              "-> replacement agent running (pull-based, section 6).",
+        notes=notes,
     )
 
 

@@ -12,6 +12,7 @@ from repro.bench.reporting import ExperimentReport
 from repro.core import Placement, WaveOpts
 from repro.sched import FifoPolicy
 from repro.sched.experiment import (
+    SLO_SPECS,  # noqa: F401  (re-export: `python -m repro timeline fig4a`)
     SchedPointResult,
     saturation_throughput,
     sweep_load,

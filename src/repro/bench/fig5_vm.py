@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.bench.parallel import parallel_map
 from repro.bench.reporting import ExperimentReport
+from repro.sched.experiment import SLO_SPECS  # noqa: F401  (timeline CLI)
 from repro.sched.vm_experiment import run_vm_point
 
 PAPER = {1: 11.2, 31: 9.7, 128: 1.7}

@@ -15,6 +15,7 @@ from typing import Dict, List
 
 from repro.bench.reporting import ExperimentReport
 from repro.rpc.experiment import (
+    SLO_SPECS,  # noqa: F401  (re-export: `python -m repro timeline fig6`)
     RpcPointResult,
     RpcScenario,
     run_rpc_point,

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.bench.reporting import ExperimentReport
 from repro.hw import HwParams, Machine
+from repro.mem.experiment import SLO_SPECS  # noqa: F401  (timeline CLI)
 from repro.mem import (
     AddressSpace,
     EPOCH_NS,

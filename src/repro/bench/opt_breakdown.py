@@ -9,7 +9,11 @@ from __future__ import annotations
 from repro.bench.reporting import ExperimentReport
 from repro.core import Placement, WaveOpts
 from repro.sched import FifoPolicy
-from repro.sched.experiment import saturation_throughput, sweep_load
+from repro.sched.experiment import (  # noqa: F401  (SLO_SPECS re-export)
+    SLO_SPECS,
+    saturation_throughput,
+    sweep_load,
+)
 from repro.workloads import RocksDbModel
 
 PAPER = {

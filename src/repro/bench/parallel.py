@@ -164,11 +164,12 @@ def _init_worker(hb_queue, tel_config) -> None:
     sim_core.set_default_telemetry(None)
 
 
-def _heartbeat(kind: str, index: int, events: int) -> None:
+def _heartbeat(kind: str, index: int, events: int,
+               samples: int = 0) -> None:
     if _WORKER_HB is None:
         return
     try:
-        _WORKER_HB.put((kind, index, os.getpid(), events))
+        _WORKER_HB.put((kind, index, os.getpid(), events, samples))
     except Exception:  # a broken channel must never fail the point
         pass
 
@@ -193,7 +194,8 @@ def _run_spec_sharded(item: Tuple[int, PointSpec]):
     finally:
         hub.uninstall()
     shard = hub.shard()
-    _heartbeat("done", index, shard.events_scheduled)
+    _heartbeat("done", index, shard.events_scheduled,
+               shard.timeline_samples)
     return result, shard
 
 
@@ -211,7 +213,7 @@ def _drain_heartbeats(hb_queue, progress, final: bool = False) -> None:
     deadline = time.monotonic() + 2.0
     while True:
         try:
-            kind, index, pid, events = hb_queue.get_nowait()
+            kind, index, pid, events, samples = hb_queue.get_nowait()
         except queue_mod.Empty:
             if (final and progress.done < progress.total
                     and time.monotonic() < deadline):
@@ -225,11 +227,14 @@ def _drain_heartbeats(hb_queue, progress, final: bool = False) -> None:
         if kind == "start":
             progress.start(index, slot)
         else:
-            progress.finish(index, slot, events)
+            progress.finish(index, slot, events, samples)
             _HEALTH.counter("sweep.worker.points", worker=str(slot)).incr()
             if events:
                 _HEALTH.counter("sweep.worker.events",
                                 worker=str(slot)).incr(events)
+            if samples:
+                _HEALTH.counter("sweep.worker.timeline_samples",
+                                worker=str(slot)).incr(samples)
 
 
 def run_points(specs: Iterable[PointSpec],

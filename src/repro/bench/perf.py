@@ -77,6 +77,16 @@ REGRESSION_FLOOR = 0.70
 # fallback is recorded alongside as ``exact_speedup_vs_serial`` but
 # not gated; it historically sits around 0.7-0.9x.)
 PARTITION_SPEEDUP_FLOOR = 1.0
+# --check floor on the kernel's throughput with the timeline sampler
+# attached (telemetry hub + metric timelines at a deliberately hot
+# 5 us period) relative to the same hub without a timeline. The
+# sampler is a passive clock hook -- no events, no seq numbers -- so
+# it must cost at most ~3% even when sampling 200x more often than
+# the 1 ms default.
+TIMELINE_OVERHEAD_FLOOR = 0.97
+#: Sampling period of the overhead bench (ns). 200x hotter than the
+#: default so the gate measures the hook, not the idle branch.
+TIMELINE_PERIOD_NS = 5_000.0
 # --check also fails when fresh heap admissions creep more than 10%
 # above the committed count: the event-reduction machinery (timer
 # wheel, poll coalescing, virtual ticks) silently falling out of use
@@ -327,6 +337,91 @@ def measure_partition(repeats: int = 3) -> dict:
     }
 
 
+def timeline_kernel_point(with_timeline: bool,
+                          horizon_ns: int = 2_000_000) -> dict:
+    """One timeline-overhead bench run: the kernel microbench workload
+    under a telemetry hub, with or without the timeline sampler."""
+    from repro.obs import Telemetry, TimelineConfig
+    config = (TimelineConfig(period_ns=TIMELINE_PERIOD_NS)
+              if with_timeline else None)
+    with Telemetry(timeline=config):
+        env = Environment()
+        _build_workload(env, 40, 40, 10)
+        t0 = time.perf_counter()
+        env.run(until=horizon_ns)
+        wall = time.perf_counter() - t0
+    return {
+        "events_dispatched": env.events_dispatched,
+        "events_scheduled": env.events_scheduled,
+        "samples": env._timeline.ticks if env._timeline is not None else 0,
+        "wall_s": round(wall, 4),
+    }
+
+
+def measure_timeline(repeats: int = 3) -> dict:
+    """Timeline-sampler overhead on the kernel microbench workload.
+
+    Self-relative: both sides run under a telemetry hub, one with the
+    timeline sampler at a hot 5 us period and one without, so the ratio
+    isolates the clock hook from the hub's own cost. The true ratio is
+    ~1.0 -- well inside single-machine wall-clock noise -- so a single
+    estimator sits within scheduler jitter of the 0.97 floor and
+    flakes. The gated ratio is therefore the **max of two estimators
+    with independent failure modes**: best-of-N vs best-of-N (the
+    :func:`measure_kernel` approach; bests converge to the machine's
+    unloaded speed but one outlier-free side can deflate the ratio) and
+    the median of order-alternated paired ratios (robust to load drift
+    but wide-tailed per pair). Noise deflates each independently, while
+    a real sampler regression drags both down, so the max keeps the
+    floor meaningful without flaking. Runs alternate order so drift
+    cannot systematically favour one side; both estimators are recorded
+    (``best_ratio``, ``paired_median``). The sampler schedules no
+    events, so ``events_dispatched`` equality between the two sides is
+    a hard ``--check`` gate.
+    """
+    timeline_kernel_point(False, horizon_ns=200_000)  # warmup
+    timeline_kernel_point(True, horizon_ns=200_000)
+    pairs = 2 * repeats + 1
+    off_runs, on_runs = [], []
+    for i in range(pairs):
+        if i % 2 == 0:
+            off_runs.append(timeline_kernel_point(False))
+            on_runs.append(timeline_kernel_point(True))
+        else:
+            on_runs.append(timeline_kernel_point(True))
+            off_runs.append(timeline_kernel_point(False))
+
+    def _evps(run):
+        return run["events_dispatched"] / run["wall_s"]
+
+    def _median(values):
+        ordered = sorted(values)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+    paired = _median([_evps(on) / _evps(off)
+                      for on, off in zip(on_runs, off_runs)])
+    on_best = max(_evps(r) for r in on_runs)
+    off_best = max(_evps(r) for r in off_runs)
+    on, off = on_runs[0], off_runs[0]
+    best_ratio = on_best / off_best
+    return {
+        "overhead_vs_off": round(max(best_ratio, paired), 3),
+        "best_ratio": round(best_ratio, 3),
+        "paired_median": round(paired, 3),
+        "events_per_sec": round(on_best),
+        "off_events_per_sec": round(off_best),
+        "period_ns": TIMELINE_PERIOD_NS,
+        "samples": on["samples"],
+        "events_dispatched": on["events_dispatched"],
+        "off_events_dispatched": off["events_dispatched"],
+        "runs": on_runs,
+        "off_runs": off_runs,
+    }
+
+
 def measure_model_benches() -> dict:
     """Named end-to-end model benches with per-benchmark event counts.
 
@@ -406,6 +501,14 @@ def main(fast: bool = False, check: bool = False,
           f"{partition['batch_solo']:,} solo steps, "
           f"{partition['cross_sends']:,} cross sends", flush=True)
 
+    print("timeline sampler (5 us period) vs telemetry-only ...",
+          flush=True)
+    timeline = measure_timeline(repeats=max(1, repeats))
+    print(f"  sampling-on {timeline['events_per_sec']:,} ev/s vs off "
+          f"{timeline['off_events_per_sec']:,} ev/s "
+          f"({timeline['overhead_vs_off']:.2f}x), "
+          f"{timeline['samples']:,} samples", flush=True)
+
     result = {
         "schema": "wave-repro-perf/2",
         "host": {
@@ -415,6 +518,7 @@ def main(fast: bool = False, check: bool = False,
         },
         "kernel": kernel,
         "kernel_partition": partition,
+        "kernel_timeline": timeline,
         "pre_pr_baseline": PRE_PR_BASELINE,
         "kernel_speedup_vs_pre_pr": round(
             kernel["events_per_sec"]
@@ -512,6 +616,25 @@ def main(fast: bool = False, check: bool = False,
                   f"must beat the serial kernel, not just bound the "
                   f"merge overhead)")
             return 1
+        # Timeline-sampler gates: the passive clock hook schedules no
+        # events (dispatch equality is exact) and must stay within
+        # TIMELINE_OVERHEAD_FLOOR of the no-timeline hub even at the
+        # bench's deliberately hot 5 us sampling period.
+        if (timeline["events_dispatched"]
+                != timeline["off_events_dispatched"]):
+            print(f"PERF REGRESSION: timeline sampler changed the "
+                  f"dispatch count: sampling-on "
+                  f"{timeline['events_dispatched']:,} vs off "
+                  f"{timeline['off_events_dispatched']:,} (the sampler "
+                  f"must be a passive clock hook, not an event)")
+            return 1
+        if timeline["overhead_vs_off"] < TIMELINE_OVERHEAD_FLOOR:
+            print(f"PERF REGRESSION: timeline sampling at "
+                  f"{timeline['overhead_vs_off']:.2f}x of the "
+                  f"no-timeline kernel < "
+                  f"{TIMELINE_OVERHEAD_FLOOR:.2f}x floor "
+                  f"({timeline['samples']:,} samples over the run)")
+            return 1
         print(f"perf check OK: kernel {got:,} ev/s >= "
               f"{floor:,.0f} (70% of committed {base:,})"
               + (f", events_scheduled {events_got:,} <= "
@@ -520,7 +643,8 @@ def main(fast: bool = False, check: bool = False,
               + f", window-batched {partition['speedup_vs_serial']:.2f}x "
               f"of serial (exact merge "
               f"{partition['exact_speedup_vs_serial']:.2f}x) with equal "
-              f"dispatch counts")
+              f"dispatch counts, timeline sampling "
+              f"{timeline['overhead_vs_off']:.2f}x of off")
     return 0
 
 

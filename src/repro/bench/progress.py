@@ -1,6 +1,7 @@
 """Live sweep progress and stall detection for the process pool.
 
-Workers send ``("start"|"done", point_index, pid, events)`` heartbeats
+Workers send ``("start"|"done", point_index, pid, events,
+timeline_samples)`` heartbeats
 over a queue (see :mod:`repro.bench.parallel`); the parent folds them
 into a :class:`SweepProgress`, which renders a stderr progress line
 (points done/total, events/sec, per-worker status) and surfaces hung
@@ -78,6 +79,7 @@ class SweepProgress:
         self.t0 = clock()
         self.done = 0
         self.events_total = 0
+        self.samples_total = 0
         #: point index -> (worker slot, start time) for in-flight points.
         self.running: Dict[int, Tuple[int, float]] = {}
         #: point index -> worker slot, for every point ever started.
@@ -101,11 +103,13 @@ class SweepProgress:
         if self.mode == "live":
             self._render_live()
 
-    def finish(self, index: int, slot: int, events: int) -> None:
+    def finish(self, index: int, slot: int, events: int,
+               samples: int = 0) -> None:
         started = self.running.pop(index, None)
         self.point_worker.setdefault(index, slot)
         self.done += 1
         self.events_total += events or 0
+        self.samples_total += samples or 0
         if self.mode == "line":
             took = ""
             if started is not None:
@@ -147,6 +151,9 @@ class SweepProgress:
         if self.events_total:
             line += (f", {_fmt_events(self.events_total)} events "
                      f"({_fmt_events(self.events_total / wall)}/s)")
+        if self.samples_total:
+            line += (f", {_fmt_events(self.samples_total)} timeline "
+                     f"samples")
         if self.stalled:
             line += f", {len(self.stalled)} stall warning(s)"
         self._write(line + "\n")

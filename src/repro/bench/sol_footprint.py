@@ -7,7 +7,10 @@ stays at ~12 us median / ~31 us p99.
 from __future__ import annotations
 
 from repro.bench.reporting import ExperimentReport
-from repro.mem.experiment import run_footprint
+from repro.mem.experiment import (  # noqa: F401  (SLO_SPECS re-export)
+    SLO_SPECS,
+    run_footprint,
+)
 
 FAST_BYTES = 8 * 1024 ** 3
 

@@ -10,7 +10,10 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.bench.reporting import ExperimentReport
-from repro.mem.experiment import sol_duration_table
+from repro.mem.experiment import (  # noqa: F401  (SLO_SPECS re-export)
+    SLO_SPECS,
+    sol_duration_table,
+)
 
 PAPER = {1: (1018, 623), 2: (576, 431), 4: (437, 354),
          8: (384, 322), 16: (364, 309)}

@@ -16,6 +16,7 @@ from repro.core import Placement, WaveChannel, WaveOpts
 from repro.ghost import GhostAgent, GhostKernel, GhostTask
 from repro.hw import HwParams, Machine, PteType
 from repro.sched import FifoPolicy
+from repro.sched.experiment import SLO_SPECS  # noqa: F401  (timeline CLI)
 from repro.sim import Environment
 
 PAPER_RANGES = {

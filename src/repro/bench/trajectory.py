@@ -23,7 +23,7 @@ import json
 import os
 from typing import List, Optional
 
-from repro.bench.ascii_plot import render_curves
+from repro.obs.ascii import render_curves
 from repro.obs.report import md_table
 
 #: Bound on the ``history`` array; the oldest entries fall off first.
@@ -47,6 +47,7 @@ def history_entry(result: dict, timestamp: str) -> dict:
     shows where event-count wins land or regress per benchmark."""
     kernel = result.get("kernel") or {}
     partition = result.get("kernel_partition") or {}
+    timeline = result.get("kernel_timeline") or {}
     fig4a = result.get("fig4a_fast") or {}
     host = result.get("host") or {}
     entry = {
@@ -57,6 +58,7 @@ def history_entry(result: dict, timestamp: str) -> dict:
         "partition_events_per_sec": partition.get("events_per_sec"),
         "partition_speedup_vs_serial": partition.get("speedup_vs_serial"),
         "partition_exact_speedup": partition.get("exact_speedup_vs_serial"),
+        "kernel_timeline_overhead": timeline.get("overhead_vs_off"),
         "fig4a_serial_wall_s": fig4a.get("serial_wall_s"),
         "fig4a_parallel_wall_s": fig4a.get("parallel_wall_s"),
         "jobs": fig4a.get("jobs"),

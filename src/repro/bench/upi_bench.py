@@ -7,6 +7,7 @@ Paper: offload slowdowns vs on-host of 1.3% (3 GHz), 2.5% (2.5 GHz),
 from __future__ import annotations
 
 from repro.bench.reporting import ExperimentReport
+from repro.rpc.experiment import SLO_SPECS  # noqa: F401  (timeline CLI)
 from repro.rpc.upi import (
     DEFAULT_RATES,
     pcie_offload_saturation,

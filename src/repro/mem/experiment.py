@@ -22,6 +22,7 @@ from repro.mem.addrspace import AddressSpace
 from repro.mem.agent import MemAgentPlacement, MemoryAgent
 from repro.mem.sol import EPOCH_NS
 from repro.mem.tiers import TieredMemory
+from repro.obs.timeline import SloSpec
 from repro.sim import Environment, LatencyStats
 
 #: GET latency model under SOL (ns): the 10 us GET plus measured
@@ -35,6 +36,14 @@ SCAN_COLLISION_PROB = 0.018
 SCAN_COLLISION_NS = (10_000.0, 30_000.0)
 #: A GET whose page was (mis)classified cold takes a major fault.
 SLOW_TIER_FAULT_NS = 150_000.0
+
+#: Streaming SLO specs for ``python -m repro timeline``: a SOL
+#: iteration must finish within one epoch or cold pages back up
+#: (section 7.4.2's per-iteration duration requirement).
+SLO_SPECS = (
+    SloSpec(name="sol-iteration", metric="sol_iteration_ns",
+            threshold_ns=EPOCH_NS),
+)
 
 
 @dataclasses.dataclass

@@ -44,8 +44,24 @@ from repro.obs.export import (
     write_chrome_trace,
     write_metrics,
 )
+from repro.obs.ascii import MARKERS, render_curves, sparkline
 from repro.obs.profile import LoopProfiler
 from repro.obs.report import fault_timeline, run_report, stage_breakdown
+from repro.obs.timeline import (
+    Incident,
+    RunTimeline,
+    Series,
+    SloMonitor,
+    SloSpec,
+    TimelineConfig,
+    WindowSketch,
+    fault_incidents,
+    timeline_json,
+    timeline_report,
+    timeline_sections,
+    write_timeline,
+    write_timeline_csv,
+)
 
 __all__ = [
     "CounterMetric",
@@ -81,4 +97,20 @@ __all__ = [
     "fault_timeline",
     "run_report",
     "stage_breakdown",
+    "MARKERS",
+    "render_curves",
+    "sparkline",
+    "Incident",
+    "RunTimeline",
+    "Series",
+    "SloMonitor",
+    "SloSpec",
+    "TimelineConfig",
+    "WindowSketch",
+    "fault_incidents",
+    "timeline_json",
+    "timeline_report",
+    "timeline_sections",
+    "write_timeline",
+    "write_timeline_csv",
 ]

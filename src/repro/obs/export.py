@@ -67,6 +67,31 @@ def chrome_trace_events(telemetry: Telemetry) -> List[dict]:
                                  sorted(span.args.items())}
             events.append(event)
         events.extend(_flow_events(run, pid, tids, by_id))
+        events.extend(_counter_events(run, pid))
+    return events
+
+
+def _counter_events(run, pid: int) -> List[dict]:
+    """Perfetto counter tracks (``ph:"C"``) from the run's timeline.
+
+    One counter event per sample per series, in sorted series order;
+    ``None`` samples (no-data windows) are skipped -- Perfetto draws
+    the gap. Empty when the run carries no timeline.
+    """
+    timeline = getattr(run, "timeline", None)
+    if timeline is None:
+        return []
+    events: List[dict] = []
+    for name in sorted(timeline.series):
+        series = timeline.series[name]
+        for t, v in zip(series.times, series.values):
+            if v is None:
+                continue
+            events.append({
+                "ph": "C", "pid": pid, "tid": 0, "name": name,
+                "cat": "timeline", "ts": t / 1000.0,
+                "args": {"value": v},
+            })
     return events
 
 

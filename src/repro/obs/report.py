@@ -113,8 +113,8 @@ def run_report(telemetry: Telemetry, title: str = "run report",
         out.extend(faults)
         out.append("")
 
-    # Causal/observatory sections (lazy import: causal renders with
-    # md_table from this module).
+    # Causal/observatory/timeline sections (lazy import: they render
+    # with md_table from this module).
     from repro.obs.causal import causal_section, partition_section
     causal = causal_section(telemetry)
     if causal:
@@ -122,5 +122,9 @@ def run_report(telemetry: Telemetry, title: str = "run report",
     observatory = partition_section(telemetry)
     if observatory:
         out.extend(observatory)
+    from repro.obs.timeline import timeline_sections
+    timelines = timeline_sections(telemetry)
+    if timelines:
+        out.extend(timelines)
 
     return "\n".join(out)

@@ -51,6 +51,10 @@ class RunShard:
     #: (plain counters, picklable), or None when the run used the
     #: sequential engine or telemetry was off.
     partition: Optional[object] = None
+    #: The run's :class:`~repro.obs.timeline.RunTimeline` (series rings,
+    #: sketches, incident log; the run back-reference drops on
+    #: pickling), or None when the hub does not sample timelines.
+    timeline: Optional[object] = None
 
 
 @dataclasses.dataclass
@@ -64,22 +68,30 @@ class TelemetryShard:
     #: Simulator events scheduled across the shard's runs (drives the
     #: progress line's events/sec; never exported).
     events_scheduled: int = 0
+    #: Timeline samples taken across the shard's runs (drives the
+    #: progress line's sample readout; never exported -- the samples
+    #: themselves travel in each run's ``timeline``).
+    timeline_samples: int = 0
 
 
 def shard_from(hub: Telemetry) -> TelemetryShard:
     """Detach ``hub``'s collected telemetry into a picklable shard."""
     runs = [RunShard(label=run.label, default_label=run.default_label,
                      metrics=run.metrics, spans=run.spans,
-                     partition=getattr(run, "partition", None))
+                     partition=getattr(run, "partition", None),
+                     timeline=getattr(run, "timeline", None))
             for run in hub.runs]
     events = 0
     for run in hub.runs:
         env = run.env
         if env is not None:
             events += getattr(env, "_seq", 0)
+    samples = sum(run.timeline.ticks for run in hub.runs
+                  if getattr(run, "timeline", None) is not None)
     profile = hub.profiler.state() if hub.profiler is not None else None
     return TelemetryShard(runs=runs, profile=profile,
-                          events_scheduled=events)
+                          events_scheduled=events,
+                          timeline_samples=samples)
 
 
 def absorb_into(hub: Telemetry, shard: TelemetryShard,
@@ -94,7 +106,8 @@ def absorb_into(hub: Telemetry, shard: TelemetryShard,
             hub, run_index=len(hub.runs),
             label=rs.label, default_label=rs.default_label,
             metrics=rs.metrics, spans=rs.spans, worker=worker,
-            partition=getattr(rs, "partition", None))
+            partition=getattr(rs, "partition", None),
+            timeline=getattr(rs, "timeline", None))
         if rs.default_label:
             run.label = f"run{run.run_index}"
         hub.runs.append(run)

@@ -171,12 +171,15 @@ class RunTelemetry:
         #: registry (the telemetry digest must not depend on which
         #: engine ran).
         self.partition = None
+        #: :class:`repro.obs.timeline.RunTimeline` when the hub samples
+        #: timelines; carried through shards like ``partition``.
+        self.timeline = None
 
     @classmethod
     def restored(cls, hub: "Telemetry", run_index: int, label: str,
                  default_label: bool, metrics: MetricsRegistry,
-                 spans: SpanLog, worker=None,
-                 partition=None) -> "RunTelemetry":
+                 spans: SpanLog, worker=None, partition=None,
+                 timeline=None) -> "RunTelemetry":
         """Rebuild a run from shard state (no environment: read-only)."""
         run = cls.__new__(cls)
         run.env = None
@@ -191,6 +194,11 @@ class RunTelemetry:
         run._next_span = 0
         run._next_req = 0
         run.partition = partition
+        run.timeline = timeline
+        if timeline is not None:
+            # Re-link the back-reference dropped on pickling so blame
+            # attribution can read the restored run's spans.
+            timeline.run = run
         return run
 
     def _wanted(self, stage: str) -> bool:
@@ -285,12 +293,16 @@ class Telemetry:
 
     def __init__(self, span_capacity: int = 200_000,
                  stage_filter: Optional[List[str]] = None,
-                 profiler=None):
+                 profiler=None, timeline=None):
         self.span_capacity = span_capacity
         self.stage_filter = set(stage_filter) if stage_filter else None
         #: Optional :class:`repro.obs.profile.LoopProfiler`; when set,
         #: every attached environment's event loop is profiled.
         self.profiler = profiler
+        #: Optional :class:`repro.obs.timeline.TimelineConfig`; when
+        #: set, every attached environment gets a
+        #: :class:`~repro.obs.timeline.RunTimeline` sampler.
+        self.timeline = timeline
         self.runs: List[RunTelemetry] = []
 
     def attach(self, env, label: str = "") -> RunTelemetry:
@@ -298,6 +310,10 @@ class Telemetry:
         run = RunTelemetry(env, self, len(self.runs), label)
         self.runs.append(run)
         env.telemetry = run
+        if self.timeline is not None:
+            from repro.obs.timeline import RunTimeline
+            run.timeline = RunTimeline(run, self.timeline)
+            env._timeline = run.timeline
         if self.profiler is not None:
             self.profiler.attach(env)
         return run
@@ -334,6 +350,8 @@ class Telemetry:
             "stage_filter": sorted(self.stage_filter)
             if self.stage_filter is not None else None,
             "profile": self.profiler is not None,
+            "timeline": self.timeline.to_dict()
+            if self.timeline is not None else None,
         }
 
     @classmethod
@@ -343,9 +361,13 @@ class Telemetry:
         if config.get("profile"):
             from repro.obs.profile import LoopProfiler
             profiler = LoopProfiler()
+        timeline = None
+        if config.get("timeline") is not None:
+            from repro.obs.timeline import TimelineConfig
+            timeline = TimelineConfig.from_dict(config["timeline"])
         return cls(span_capacity=config["span_capacity"],
                    stage_filter=config["stage_filter"],
-                   profiler=profiler)
+                   profiler=profiler, timeline=timeline)
 
     def shard(self):
         """Detach everything collected so far into a picklable

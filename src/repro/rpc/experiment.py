@@ -30,7 +30,8 @@ from repro.ghost import GhostAgent, GhostKernel, GhostTask
 from repro.ghost.messages import TASK_NEW
 from repro.hw import HwParams, Machine
 from repro.hw.paths import MemPath
-from repro.rpc.slo import assign_slo
+from repro.obs.timeline import SloSpec
+from repro.rpc.slo import GET_SLO_NS, assign_slo
 from repro.rpc.stack import RpcStack, StackPlacement
 from repro.sched import MultiQueueShinjukuPolicy, ShinjukuPolicy
 from repro.sim import Environment, LatencyStats
@@ -54,6 +55,14 @@ WORKER_SHM_NS = 100.0
 #: NIC-side enqueue bookkeeping when the stack submits to a co-located
 #: scheduler through SoC-local memory.
 NIC_SUBMIT_NS = 200.0
+
+#: Streaming SLO specs for ``python -m repro timeline``: the windowed
+#: scheduling-latency p99 against the 200 us GET SLO the multi-queue
+#: policy enforces (section 7.3.2).
+SLO_SPECS = (
+    SloSpec(name="rpc-get-p99", metric="sched_task_latency_ns",
+            threshold_ns=GET_SLO_NS),
+)
 
 
 class RpcScenario(enum.Enum):

@@ -16,6 +16,7 @@ from typing import Callable, List, Optional
 from repro.core import Placement, WaveChannel, WaveOpts
 from repro.ghost import GhostAgent, GhostKernel, GhostTask, SchedCosts
 from repro.hw import HwParams, Machine
+from repro.obs.timeline import SloSpec
 from repro.sched.policy import SchedPolicy
 from repro.sim import Environment, LatencyStats
 from repro.workloads import PoissonLoadGen, Request, RequestKind, RocksDbModel
@@ -24,6 +25,14 @@ from repro.workloads import PoissonLoadGen, Request, RequestKind, RocksDbModel
 DEFAULT_DURATION_NS = 40_000_000.0
 #: Arrivals in the first part of the run are excluded from statistics.
 DEFAULT_WARMUP_NS = 8_000_000.0
+
+#: Streaming SLO specs for ``python -m repro timeline``: the windowed
+#: GET p99 against the 300 us saturation limit the Fig 4 sweeps use to
+#: call a load point saturated (``repro.bench.fig4_fifo.P99_LIMIT_NS``).
+SLO_SPECS = (
+    SloSpec(name="sched-get-p99", metric="sched_task_latency_ns",
+            threshold_ns=300_000.0),
+)
 
 
 @dataclasses.dataclass

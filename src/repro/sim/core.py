@@ -127,8 +127,8 @@ class Environment:
     """
 
     __slots__ = ("_now", "_queue", "_seq", "_active_process", "faults",
-                 "telemetry", "_timeout_pool", "_profile_hook", "_wheel",
-                 "_staged", "_partition", "events_scheduled",
+                 "telemetry", "_timeline", "_timeout_pool", "_profile_hook",
+                 "_wheel", "_staged", "_partition", "events_scheduled",
                  "events_dispatched", "timers_coalesced",
                  "cancelled_purged", "_cancel_backlog")
 
@@ -174,6 +174,14 @@ class Environment:
         #: edges; ``None`` (the default) disables telemetry at the cost
         #: of a single attribute load per edge.
         self.telemetry = None
+        #: Optional :class:`repro.obs.timeline.RunTimeline` sampler, set
+        #: by :meth:`repro.obs.spans.Telemetry.attach` when the hub
+        #: carries a timeline config. The dispatch loops compare the
+        #: next event time against its ``_next_ns`` boundary *before*
+        #: advancing the clock, so samples reflect exactly the events
+        #: strictly before each boundary (engine- and jobs-independent).
+        #: ``None`` costs one comparison per dispatched event.
+        self._timeline = None
         for reset in _run_id_resets:
             reset()
         if _default_telemetry is not None:
@@ -424,6 +432,9 @@ class Environment:
 
     def _process_event(self, now: float, event: Event) -> None:
         """Advance the clock to ``now`` and run one event's callbacks."""
+        timeline = self._timeline
+        if timeline is not None and timeline._next_ns <= now:
+            timeline._cross(now)
         self._now = now
         self.events_dispatched += 1
         callbacks, event.callbacks = event.callbacks, None
@@ -514,6 +525,8 @@ class Environment:
         own_staged = staged is None
         if own_staged:
             staged = self._staged = []
+        timeline = self._timeline
+        tl_next = timeline._next_ns if timeline is not None else _INF
         dispatched = 0
         try:
             while True:
@@ -580,6 +593,9 @@ class Environment:
                         self._push_rearmed(event, cand[0], cand[1])
                         continue
                     entry = cand
+                if tl_next <= entry[0]:
+                    timeline._cross(entry[0])
+                    tl_next = timeline._next_ns
                 self._now = entry[0]
                 dispatched += 1
                 callbacks, event.callbacks = event.callbacks, None
@@ -640,6 +656,12 @@ class Environment:
             # Advance the clock to the requested stop time even if the
             # queue drained early, so repeated run(until=...) is monotonic.
             if stop_at != _INF:
+                timeline = self._timeline
+                if timeline is not None:
+                    # Trailing sample boundaries up to the horizon: no
+                    # event crossed them, but the grid must cover the
+                    # whole run (last sample lands at the horizon).
+                    timeline._finish(stop_at)
                 self._now = max(self._now, stop_at)
             return None
         if until.triggered:

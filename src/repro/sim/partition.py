@@ -902,6 +902,8 @@ class PartitionEngine:
         pop = heappop
         timeout_type = Timeout
         rearm_type = RearmableTimer
+        timeline = env._timeline
+        tl_next = timeline._next_ns if timeline is not None else _INF
         self._run_domain = domain
         self.current = domain
         dispatched = 0
@@ -977,6 +979,13 @@ class PartitionEngine:
                         self._push_rearmed(domain, cand[0], cand[1], event)
                         continue
                     entry = cand
+                if tl_next <= entry[0]:
+                    # Timeline boundary: the merge dispatches in exact
+                    # global (time, priority, seq) order, so crossing
+                    # here sees the same event prefix as the serial
+                    # kernel would.
+                    timeline._cross(entry[0])
+                    tl_next = timeline._next_ns
                 env._now = entry[0]
                 dispatched += 1
                 callbacks, event.callbacks = event.callbacks, None
@@ -1013,6 +1022,8 @@ class PartitionEngine:
         pop = heappop
         timeout_type = Timeout
         rearm_type = RearmableTimer
+        timeline = env._timeline
+        tl_next = timeline._next_ns if timeline is not None else _INF
         self._run_domain = domain
         self.current = domain
         dispatched = 0
@@ -1084,6 +1095,11 @@ class PartitionEngine:
                         self._push_rearmed(domain, cand[0], cand[1], event)
                         continue
                     entry = cand
+                if tl_next <= entry[0]:
+                    # Timeline boundary (every other domain empty, so
+                    # this domain's order *is* the global order).
+                    timeline._cross(entry[0])
+                    tl_next = timeline._next_ns
                 env._now = entry[0]
                 dispatched += 1
                 callbacks, event.callbacks = event.callbacks, None

@@ -72,6 +72,15 @@ def _stub_partition(repeats=3):
             "runs": [], "exact_runs": [], "serial_runs": []}
 
 
+def _stub_timeline(repeats=3):
+    # Shape of measure_timeline()'s paired-run result (the real bench
+    # is wall-clock and would flake under test-suite load).
+    return {"overhead_vs_off": 0.99, "events_per_sec": 4950,
+            "off_events_per_sec": 5000, "period_ns": 5_000.0,
+            "samples": 400, "events_dispatched": 900,
+            "off_events_dispatched": 900, "runs": [], "off_runs": []}
+
+
 def test_perf_main_appends_history_across_runs(tmp_path, monkeypatch,
                                                capsys):
     """The ISSUE acceptance check: running perf twice yields a two-entry
@@ -79,6 +88,7 @@ def test_perf_main_appends_history_across_runs(tmp_path, monkeypatch,
     _stub_kernel.calls = []
     monkeypatch.setattr(perf, "measure_kernel", _stub_kernel)
     monkeypatch.setattr(perf, "measure_partition", _stub_partition)
+    monkeypatch.setattr(perf, "measure_timeline", _stub_timeline)
     # Run away from the repo root, or carry_history seeds the first run
     # from the committed BENCH_perf.json (by design).
     monkeypatch.chdir(tmp_path)

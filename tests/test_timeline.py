@@ -1,0 +1,301 @@
+"""Tests for the time-resolved telemetry layer (repro.obs.timeline).
+
+Covers the determinism contract the module docstring pins: boundary
+samples see exactly the events strictly before the boundary, the
+sampler is passive (identical dispatch counts with sampling on/off),
+rings evict at their bound, sketch percentiles stay within log-linear
+bucket resolution of the exact windowed percentile, SLO hysteresis
+opens/closes incidents deterministically, and the exported
+timeline.json is byte-identical at --jobs 1 and --jobs 2.
+"""
+
+import json
+import random
+
+from repro.bench.parallel import PointSpec, run_points
+from repro.obs import (
+    SloSpec,
+    Telemetry,
+    TimelineConfig,
+    WindowSketch,
+    fault_incidents,
+    timeline_json,
+    timeline_sections,
+    write_timeline,
+    write_timeline_csv,
+)
+from repro.sim import Environment
+from repro.sim.monitor import loglinear_bucket
+
+
+def _hub(period_ns=1_000.0, **kwargs):
+    return Telemetry(timeline=TimelineConfig(period_ns=period_ns,
+                                             **kwargs))
+
+
+# -- zero cost / passivity ---------------------------------------------------
+
+
+def test_disabled_no_sampler():
+    env = Environment()
+    assert env._timeline is None
+    with Telemetry():  # hub without a timeline config
+        env = Environment()
+        assert env._timeline is None
+        assert env.telemetry.timeline is None
+
+
+def test_sampler_is_passive_dispatch_parity():
+    """Sampling on vs off: identical event counts (no events, no seq)."""
+    from repro.bench.perf import TIMELINE_PERIOD_NS, timeline_kernel_point
+    on = timeline_kernel_point(True, horizon_ns=100_000)
+    off = timeline_kernel_point(False, horizon_ns=100_000)
+    assert on["events_dispatched"] == off["events_dispatched"]
+    assert on["events_scheduled"] == off["events_scheduled"]
+    assert on["samples"] == int(100_000 / TIMELINE_PERIOD_NS)
+    assert off["samples"] == 0
+
+
+# -- boundary semantics ------------------------------------------------------
+
+
+def test_boundary_excludes_events_at_boundary():
+    """A sample at b reflects events with time < b, not <= b."""
+    hub = _hub(period_ns=1_000.0)
+    with hub:
+        env = Environment()
+
+        def proc():
+            while True:
+                env.telemetry.count("ticker")
+                yield env.timeout(500)
+
+        env.process(proc())
+        env.run(until=3_000)
+    timeline = hub.runs[0].timeline
+    series = timeline.series["ticker"]
+    # Events land at 0, 500, 1000, ...: each boundary sees exactly the
+    # two increments of its interval (the one *at* the boundary counts
+    # toward the next sample), and the finite horizon emits the
+    # trailing boundary.
+    assert list(series.times) == [1_000.0, 2_000.0, 3_000.0]
+    assert [v for v in series.values] == [2, 2, 2]
+    assert timeline.ticks == 3
+
+
+def test_gauge_and_timeweighted_boundary_values():
+    hub = _hub(period_ns=1_000.0)
+    with hub:
+        env = Environment()
+
+        def proc():
+            depth = env.telemetry.metrics.timeweighted("depth")
+            level = env.telemetry.metrics.gauge("level")
+            depth.set(10)
+            level.set(1)
+            yield env.timeout(600)
+            depth.set(30)          # t=600
+            level.set(7)
+            yield env.timeout(1_000)
+
+        env.process(proc())
+        env.run(until=2_000)
+    timeline = hub.runs[0].timeline
+    # Interval average evaluated analytically at the boundary:
+    # (10*600 + 30*400) / 1000 = 18, then a full interval at 30.
+    assert list(timeline.series["depth:avg"].values) == [18, 30]
+    # Gauges sample the value live at the boundary.
+    assert list(timeline.series["level"].values) == [7, 7]
+
+
+# -- ring eviction -----------------------------------------------------------
+
+
+def test_ring_evicts_at_capacity():
+    hub = _hub(period_ns=100.0, capacity=4)
+    with hub:
+        env = Environment()
+
+        def proc():
+            while True:
+                env.telemetry.count("c")
+                yield env.timeout(100)
+
+        env.process(proc())
+        env.run(until=1_000)
+    series = hub.runs[0].timeline.series["c"]
+    assert len(series) == 4
+    assert series.evicted == 6
+    assert list(series.times) == [700.0, 800.0, 900.0, 1_000.0]
+
+
+# -- sketch accuracy ---------------------------------------------------------
+
+
+def test_window_sketch_percentile_error_bound():
+    """Sketch <= exact <= sketch * (1 + 1/SUBBUCKETS) for any p."""
+    rng = random.Random(7)
+    values = [rng.uniform(900.0, 500_000.0) for _ in range(500)]
+    deltas = {}
+    for v in values:
+        idx = loglinear_bucket(v)
+        deltas[idx] = deltas.get(idx, 0) + 1
+    sketch = WindowSketch(window=3)
+    sketch.push(deltas, len(values))
+    ordered = sorted(values)
+    for p in (50.0, 90.0, 99.0):
+        rank = max(1, -(-int(p * len(values)) // 100))
+        exact = ordered[rank - 1]
+        got = sketch.percentile(p)
+        assert got is not None
+        assert got <= exact <= got * 1.125 + 1e-9
+
+
+def test_window_sketch_slides_to_empty():
+    sketch = WindowSketch(window=2)
+    sketch.push({loglinear_bucket(5_000.0): 10}, 10)
+    assert sketch.percentile(99.0) is not None
+    sketch.push({}, 0)
+    sketch.push({}, 0)
+    assert sketch.count == 0
+    assert sketch.percentile(99.0) is None
+
+
+# -- SLO hysteresis ----------------------------------------------------------
+
+
+def test_slo_hysteresis_open_backdates_and_close():
+    from repro.obs.timeline import SloMonitor
+    spec = SloSpec(name="lat", metric="lat_ns", threshold_ns=100.0,
+                   open_after=2, close_after=3)
+    monitor = SloMonitor([spec])
+    feed = [(1_000, 50.0), (2_000, 200.0), (3_000, 300.0),
+            (4_000, 250.0), (5_000, 50.0), (6_000, None),
+            (7_000, 40.0)]
+    for t, value in feed:
+        monitor.observe(spec, float(t), 1_000.0, value)
+    incidents = monitor.all_incidents()
+    assert len(incidents) == 1
+    inc = incidents[0]
+    assert inc.open_ns == 2_000.0      # backdated to the first breach
+    assert inc.close_ns == 5_000.0     # first healthy boundary of streak
+    assert inc.peak == 300.0
+    # Samples counts every observation while the incident was open,
+    # including the healthy closing streak.
+    assert inc.breached == 3 and inc.samples == 6
+    assert abs(inc.burn - 0.5) < 1e-12
+    # One breach alone (below open_after) never opens.
+    monitor.observe(spec, 8_000.0, 1_000.0, 500.0)
+    monitor.observe(spec, 9_000.0, 1_000.0, 10.0)
+    assert len(monitor.all_incidents()) == 1
+
+
+# -- jobs parity -------------------------------------------------------------
+
+
+def _tl_point(seed):
+    """Module-level (picklable) point: a tiny instrumented sim."""
+    env = Environment()
+
+    def proc():
+        rng = random.Random(seed)
+        while True:
+            env.telemetry.observe("lat_ns", rng.uniform(1_000.0, 50_000.0))
+            env.telemetry.count("ops")
+            yield env.timeout(200)
+
+    env.process(proc())
+    env.run(until=20_000)
+    return env.events_dispatched
+
+
+def _sweep_payload(jobs):
+    hub = Telemetry(timeline=TimelineConfig(
+        period_ns=1_000.0,
+        slo_specs=(SloSpec(name="lat", metric="lat_ns",
+                           threshold_ns=30_000.0),)))
+    with hub:
+        results = run_points([PointSpec(_tl_point, (seed,))
+                              for seed in range(3)], jobs=jobs)
+    return results, json.dumps(timeline_json(hub), sort_keys=True)
+
+
+def test_timeline_json_byte_identical_across_jobs(monkeypatch):
+    monkeypatch.setenv("REPRO_PROGRESS", "0")
+    serial_results, serial_payload = _sweep_payload(jobs=1)
+    pooled_results, pooled_payload = _sweep_payload(jobs=2)
+    assert serial_results == pooled_results
+    assert serial_payload == pooled_payload
+    parsed = json.loads(serial_payload)
+    assert parsed["schema"] == "wave-repro-timeline/1"
+    assert len(parsed["runs"]) == 3
+    run0 = parsed["runs"][0]
+    assert "slo:lat:p99w" in run0["series"]
+    assert run0["ticks"] == 20
+
+
+# -- fault lifecycle ---------------------------------------------------------
+
+
+def test_fault_incidents_pairing():
+    with Telemetry() as hub:
+        env = Environment()
+        run = env.telemetry
+        run.span("fault.fire", "faults", 0.0, start_ns=5_000.0,
+                 root=True, kind="agent-crash")
+        run.span("fault.fire", "faults", 0.0, start_ns=6_000.0,
+                 root=True, kind="msix-loss")     # not a down kind
+        run.span("fault.verdict", "faults", 0.0, start_ns=9_000.0,
+                 agent="a")
+        run.span("fault.recover", "faults", 6_000.0, start_ns=9_000.0)
+    rows = fault_incidents(hub.runs[0].spans)
+    assert rows == [{"kind": "agent-crash", "fired_ns": 5_000.0,
+                     "detected_ns": 9_000.0, "recovered_ns": 15_000.0}]
+
+
+# -- export and report surfaces ----------------------------------------------
+
+
+def _breaching_hub():
+    hub = _hub(period_ns=1_000.0, sketch_window=4,
+               slo_specs=(SloSpec(name="lat", metric="lat_ns",
+                                  threshold_ns=10_000.0),))
+    with hub:
+        env = Environment()
+
+        def proc():
+            while True:
+                value = 50_000.0 if env.now >= 4_000 else 2_000.0
+                env.telemetry.observe("lat_ns", value)
+                yield env.timeout(250)
+
+        env.process(proc())
+        env.run(until=12_000)
+    return hub
+
+
+def test_sections_and_artifacts(tmp_path):
+    hub = _breaching_hub()
+    text = "\n".join(timeline_sections(hub))
+    assert "## SLO monitors" in text
+    assert "## Incident log" in text
+    assert "## Metric timelines" in text
+    assert "slo:lat:p99w" in text
+
+    json_path = tmp_path / "timeline.json"
+    csv_path = tmp_path / "timeline.csv"
+    assert write_timeline(hub, str(json_path)) == 1
+    payload = json.loads(json_path.read_text())
+    assert payload["runs"][0]["incidents"], "breach must open an incident"
+    inc = payload["runs"][0]["incidents"][0]
+    assert inc["slo"] == "lat" and inc["open_ns"] >= 4_000
+
+    rows = write_timeline_csv(hub, str(csv_path))
+    lines = csv_path.read_text().splitlines()
+    assert lines[0] == "run,series,t_ns,value"
+    assert rows == len(lines) - 1 > 0
+
+
+def test_cli_unknown_experiment():
+    from repro.__main__ import main
+    assert main(["timeline", "no-such-experiment"]) == 2
